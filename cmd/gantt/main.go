@@ -1,0 +1,99 @@
+// Command gantt runs one of the paper's training workflows, replays its
+// captured graph on a virtual cluster, and prints where the time goes: a
+// per-phase breakdown (which task kind dominates, when each phase starts
+// and drains) and, optionally, the full schedule as CSV for plotting — a
+// poor man's Paraver, in the spirit of the execution traces the paper's
+// artifact publishes.
+//
+// Usage:
+//
+//	gantt -model csvm -nodes 2            # phase breakdown on 2 MN4 nodes
+//	gantt -model cnn -nodes 5 -csv > g.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskml/internal/cluster"
+	"taskml/internal/core"
+	"taskml/internal/eddl"
+	"taskml/internal/svm"
+)
+
+func main() {
+	model := flag.String("model", "csvm", "workflow: csvm | knn | rf | cnn | cnn-nested")
+	nodes := flag.Int("nodes", 2, "virtual cluster nodes (MareNostrum4 for classical models, CTE-Power for the CNN)")
+	samples := flag.Int("samples", 300, "dataset rows for the captured instance")
+	csv := flag.Bool("csv", false, "emit the schedule as CSV (task,name,node,start,end) instead of the breakdown")
+	flag.Parse()
+
+	ds, err := core.BuildDataset(core.DataConfig{
+		NNormal: *samples * 3 / 4, NAF: *samples / 4, Seed: 1,
+		MinDurSec: 9, MaxDurSec: 12, NoiseStd: 0.05, AFSubtlety: 0.05,
+		Feature: core.FeatureConfig{PadSec: 12, Window: 256, MaxFreqHz: 25, TimePool: 2},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.PipelineConfig{
+		Seed:      1,
+		BlockRows: 40,
+		BlockCols: ds.X.Cols,
+		CSVM:      svm.CascadeParams{Iterations: 2},
+		CNNTrain:  eddl.TrainConfig{Folds: 5, Epochs: 7, Workers: 4},
+	}
+	m := core.Model(*model)
+	isCNN := *model == "cnn" || *model == "cnn-nested"
+	if *model == "cnn-nested" {
+		m = core.ModelCNN
+		cfg.CNNNested = true
+	}
+
+	rt, err := core.TrainGraph(m, ds.X, ds.Y, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	// Paper-scale task weights, as in cmd/scaling.
+	g := rt.Graph().Scaled(1e4, 1e3)
+	var c cluster.Cluster
+	if isCNN {
+		c = cluster.CTEPower(*nodes)
+	} else {
+		c = cluster.MareNostrum4(*nodes)
+	}
+	s, err := cluster.ScheduleGraph(g, c)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csv {
+		fmt.Print(s.GanttCSV(g))
+		return
+	}
+	fmt.Printf("workflow %s on %s: makespan %.2f s, utilization %.1f%%, %s moved\n",
+		*model, c.Name, s.Makespan, 100*s.Utilization, humanBytes(s.BytesMoved))
+	fmt.Printf("serialized tail (<2 concurrent tasks): %.0f%% of the makespan\n\n",
+		100*s.CriticalTail(2))
+	fmt.Print(s.BreakdownTable(g))
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gantt:", err)
+	os.Exit(1)
+}

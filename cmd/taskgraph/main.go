@@ -1,0 +1,91 @@
+// Command taskgraph regenerates the PyCOMPSs-style execution graphs of the
+// paper (Figures 4, 6, 8, 9 and 10): it runs a reduced instance of the
+// selected workflow on the task runtime and prints the captured dependency
+// graph in Graphviz DOT format.
+//
+// Usage:
+//
+//	taskgraph -model csvm        # Figure 4
+//	taskgraph -model knn         # Figure 6
+//	taskgraph -model rf          # Figure 8
+//	taskgraph -model cnn         # Figure 9 (per-epoch synchronisations)
+//	taskgraph -model cnn-nested  # Figure 10 (nesting)
+//
+// Pipe the output through `dot -Tsvg` to render.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"taskml/internal/core"
+	"taskml/internal/eddl"
+)
+
+func main() {
+	model := flag.String("model", "csvm", "workflow to capture: csvm | knn | rf | cnn | cnn-nested")
+	samples := flag.Int("samples", 160, "dataset rows for the reduced instance")
+	blockRows := flag.Int("block-rows", 40, "ds-array row-block size")
+	stats := flag.Bool("stats", false, "print graph statistics instead of DOT")
+	provenance := flag.Bool("provenance", false, "print a provenance JSON record instead of DOT")
+	flag.Parse()
+
+	ds, err := core.BuildDataset(core.DataConfig{
+		NNormal: *samples * 3 / 4, NAF: *samples / 4, Seed: 1,
+		MinDurSec: 9, MaxDurSec: 12,
+		Feature: core.FeatureConfig{PadSec: 12, Window: 256, MaxFreqHz: 25, TimePool: 2},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.PipelineConfig{
+		Seed:      1,
+		BlockRows: *blockRows,
+		BlockCols: 64,
+		CNNTrain:  eddl.TrainConfig{Folds: 5, Epochs: 3, Workers: 4},
+	}
+	m := core.Model(*model)
+	if *model == "cnn-nested" {
+		m = core.ModelCNN
+		cfg.CNNNested = true
+	}
+
+	// The graph of interest is the training workflow (the paper's figures
+	// show fit-time task graphs).
+	rt, err := core.TrainGraph(m, ds.X, ds.Y, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	g := rt.Graph()
+	if *provenance {
+		p := g.Export(*model, map[string]string{
+			"samples":    fmt.Sprint(*samples),
+			"block_rows": fmt.Sprint(*blockRows),
+		}, time.Now())
+		if err := p.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *stats {
+		fmt.Printf("workflow: %s\n", *model)
+		fmt.Printf("tasks: %d\n", g.Len())
+		fmt.Printf("critical path: %.3f reference-seconds\n", g.CriticalPath())
+		fmt.Printf("total work: %.3f reference-seconds\n", g.TotalCost())
+		fmt.Printf("max width: %d\n", g.MaxWidth())
+		fmt.Println("tasks by name:")
+		for name, n := range g.CountByName() {
+			fmt.Printf("  %-18s %d\n", name, n)
+		}
+		return
+	}
+	fmt.Print(g.DOT(*model))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskgraph:", err)
+	os.Exit(1)
+}

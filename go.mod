@@ -1,0 +1,3 @@
+module taskml
+
+go 1.22

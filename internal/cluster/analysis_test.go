@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"taskml/internal/graph"
+)
+
+// diamond builds src → {a, b} → sink with distinct names.
+func diamond() *graph.Graph {
+	g := graph.New()
+	src := g.Add(graph.Task{Name: "load", Parent: -1, Cost: 1, Cores: 1})
+	a := g.Add(graph.Task{Name: "work", Parent: -1, Cost: 2, Cores: 1, Deps: []graph.Dep{{Task: src}}})
+	b := g.Add(graph.Task{Name: "work", Parent: -1, Cost: 2, Cores: 1, Deps: []graph.Dep{{Task: src}}})
+	g.Add(graph.Task{Name: "merge", Parent: -1, Cost: 1, Cores: 1, Deps: []graph.Dep{{Task: a}, {Task: b}}})
+	return g
+}
+
+func TestBreakdownAggregates(t *testing.T) {
+	g := diamond()
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 4, 0)))
+	bd := s.Breakdown(g)
+	byName := map[string]PhaseBreakdown{}
+	for _, p := range bd {
+		byName[p.Name] = p
+	}
+	if byName["work"].Count != 2 || math.Abs(byName["work"].BusySec-4) > 1e-9 {
+		t.Fatalf("work phase: %+v", byName["work"])
+	}
+	if byName["merge"].LastEnd < byName["work"].LastEnd {
+		t.Fatal("merge must end after work")
+	}
+	// Sorted by busy time descending: "work" first.
+	if bd[0].Name != "work" {
+		t.Fatalf("breakdown order: %v", bd)
+	}
+}
+
+func TestBreakdownTableRenders(t *testing.T) {
+	g := diamond()
+	s := mustSchedule(t, g, Homogeneous("c", 1, 4, 0))
+	table := s.BreakdownTable(g)
+	for _, want := range []string{"phase", "work", "merge", "load"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestGanttCSV(t *testing.T) {
+	g := diamond()
+	s := mustSchedule(t, g, Homogeneous("c", 1, 4, 0))
+	csv := s.GanttCSV(g)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 { // header + 4 tasks
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), csv)
+	}
+	if lines[0] != "task,name,node,start,end" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(csv, "merge") {
+		t.Fatal("CSV missing task name")
+	}
+}
+
+func TestCriticalTailSerialChain(t *testing.T) {
+	g := graph.New()
+	prev := -1
+	for i := 0; i < 4; i++ {
+		tk := graph.Task{Name: "s", Parent: -1, Cost: 1, Cores: 1}
+		if prev >= 0 {
+			tk.Deps = []graph.Dep{{Task: prev}}
+		}
+		prev = g.Add(tk)
+	}
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 4, 0)))
+	// A chain never has 2 tasks concurrent: the sub-2 fraction is 1.
+	if tail := s.CriticalTail(2); math.Abs(tail-1) > 1e-9 {
+		t.Fatalf("CriticalTail = %v, want 1 for a chain", tail)
+	}
+}
+
+func TestCriticalTailParallelPhase(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 8; i++ {
+		g.Add(graph.Task{Name: "w", Parent: -1, Cost: 1, Cores: 1})
+	}
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 8, 0)))
+	// All 8 run concurrently: the sub-2 fraction is 0.
+	if tail := s.CriticalTail(2); tail > 1e-9 {
+		t.Fatalf("CriticalTail = %v, want 0 for a full-width phase", tail)
+	}
+}
+
+func TestCriticalTailEmpty(t *testing.T) {
+	var s Schedule
+	if s.CriticalTail(2) != 0 {
+		t.Fatal("empty schedule tail must be 0")
+	}
+}

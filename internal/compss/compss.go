@@ -1,0 +1,449 @@
+// Package compss is a task-based workflow runtime in the style of PyCOMPSs,
+// the programming model the paper builds on: plain functions become
+// asynchronous tasks, data dependencies between tasks are detected
+// automatically from their arguments, and the runtime executes the resulting
+// DAG in parallel.
+//
+// # Programming model
+//
+// A task is submitted with Submit (from the main program) or TaskCtx.Submit
+// (from inside another task — "nesting", the PyCOMPSs feature the paper uses
+// to overlap the CNN folds in Figure 10). Any argument that is a *Future, or
+// a []*Future, marks a dependency on the producing task; the runtime resolves
+// it to the produced value before the task body runs:
+//
+//	a := rt.Submit(compss.Opts{Name: "load", Cost: 1}, loadFn)
+//	b := rt.Submit(compss.Opts{Name: "fit", Cost: 5}, fitFn, a) // waits for a
+//	model, err := rt.Get(b)                                     // synchronises
+//
+// Get is a synchronisation: besides blocking the caller, it raises the
+// calling context's *sync floor* — tasks submitted afterwards cannot, in
+// virtual time, start before the synchronised value reached the master.
+// This reproduces the behaviour the paper describes for Figure 9, where each
+// epoch's weight synchronisation "stops the generation of tasks". Nested
+// contexts have their own local floor, so a Get inside a nested task does
+// not delay sibling tasks — the Figure 10 improvement.
+//
+// # Execution and time
+//
+// Tasks really run, on a goroutine pool of Config.Workers slots, so model
+// outputs are genuine. Virtual time is handled elsewhere: every submission
+// is recorded in a graph.Graph (with its analytic cost and resource demand)
+// that internal/cluster replays against a virtual cluster description.
+package compss
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"taskml/internal/graph"
+)
+
+// Opts describes a task at submission time.
+type Opts struct {
+	// Name labels the task kind in the captured graph (colors in the DOT
+	// export, CountByName in tests).
+	Name string
+	// Cost is the task's virtual duration in reference-core seconds (or
+	// reference-GPU seconds when GPUs > 0). It does not affect real
+	// execution, only the replayed schedule.
+	Cost float64
+	// Cores is the number of cores the task occupies on its node. Defaults
+	// to 1 when both Cores and GPUs are zero.
+	Cores int
+	// GPUs is the number of accelerators the task occupies.
+	GPUs int
+	// OutBytes is the size of the produced value, charged by the scheduler
+	// when a dependent runs on a different node (or via the master).
+	OutBytes int64
+}
+
+// TaskFunc is a task body. It receives a TaskCtx for nested submissions and
+// its resolved arguments (futures replaced by values) and returns the task's
+// output value.
+type TaskFunc func(tc *TaskCtx, args []any) (any, error)
+
+// MultiTaskFunc is a task body with multiple outputs (see SubmitN).
+type MultiTaskFunc func(tc *TaskCtx, args []any) ([]any, error)
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers bounds real goroutine parallelism. Defaults to GOMAXPROCS.
+	Workers int
+}
+
+// Runtime executes tasks and captures the workflow graph.
+type Runtime struct {
+	g    *graph.Graph
+	sem  chan struct{}
+	main *TaskCtx
+	rec  statsRecorder
+
+	mu  sync.Mutex
+	all []*taskState
+}
+
+// New creates a runtime.
+func New(cfg Config) *Runtime {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		g:   graph.New(),
+		sem: make(chan struct{}, w),
+	}
+	rt.main = &TaskCtx{rt: rt, parent: -1, insideTask: false}
+	return rt
+}
+
+// Graph returns the captured task graph. It grows as the program submits
+// tasks; replay it with internal/cluster once the workflow is complete
+// (after Barrier).
+func (rt *Runtime) Graph() *graph.Graph { return rt.g }
+
+// Main returns the main-program task context. Submit/Get/Barrier on the
+// Runtime are shorthands for the same methods on Main().
+func (rt *Runtime) Main() *TaskCtx { return rt.main }
+
+// Submit schedules fn as a task of the main program. See TaskCtx.Submit.
+func (rt *Runtime) Submit(o Opts, fn TaskFunc, args ...any) *Future {
+	return rt.main.Submit(o, fn, args...)
+}
+
+// SubmitN schedules a task with nOut outputs from the main program.
+func (rt *Runtime) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*Future {
+	return rt.main.SubmitN(o, nOut, fn, args...)
+}
+
+// Get synchronises on f from the main program: it blocks until the value is
+// available and raises the main sync floor. See TaskCtx.Get.
+func (rt *Runtime) Get(f *Future) (any, error) { return rt.main.Get(f) }
+
+// Barrier waits for every task submitted so far (in any context) and
+// returns the first error in submission order, if any. Like a PyCOMPSs
+// barrier it is also a synchronisation: tasks submitted afterwards start,
+// in virtual time, after everything before the barrier.
+func (rt *Runtime) Barrier() error { return rt.main.barrierAll() }
+
+// taskState is the shared completion record behind one or more Futures.
+type taskState struct {
+	id   int
+	name string
+	done chan struct{}
+	vals []any
+	err  error
+}
+
+// Future is a handle to the not-yet-available output of a task. Passing a
+// Future (or a []*Future) as a Submit argument creates a dependency; Get
+// synchronises on it.
+type Future struct {
+	st  *taskState
+	idx int
+}
+
+// TaskID returns the graph ID of the producing task.
+func (f *Future) TaskID() int { return f.st.id }
+
+// wait blocks until the producing task completed, without sync-floor
+// semantics (used for dependency resolution and barriers).
+func (f *Future) wait() (any, error) {
+	<-f.st.done
+	if f.st.err != nil {
+		return nil, f.st.err
+	}
+	return f.st.vals[f.idx], nil
+}
+
+// TaskCtx is the submission context handed to task bodies. The main program
+// has its own context (Runtime.Main). Each context tracks a local sync
+// floor and the set of tasks it submitted.
+type TaskCtx struct {
+	rt         *Runtime
+	parent     int  // graph ID of the enclosing task, -1 for main
+	insideTask bool // true when this ctx belongs to a running task body
+
+	mu        sync.Mutex
+	floor     map[int]bool // task IDs synchronised in this context
+	submitted []*Future
+}
+
+// Submit schedules fn as a task. Arguments may be plain values, *Future, or
+// []*Future; futures are dependencies and arrive resolved in fn's args.
+//
+// The returned Future resolves once fn returned *and* every task fn
+// submitted through its own TaskCtx completed (a nested task is not done
+// until its children are).
+func (tc *TaskCtx) Submit(o Opts, fn TaskFunc, args ...any) *Future {
+	fs := tc.submit(o, 1, func(child *TaskCtx, resolved []any) ([]any, error) {
+		v, err := fn(child, resolved)
+		return []any{v}, err
+	}, args)
+	return fs[0]
+}
+
+// SubmitN schedules a task producing nOut outputs and returns one Future
+// per output. All outputs resolve together when the task completes; the
+// graph records a single task node (dependents of any output depend on the
+// task). This mirrors dislib tasks that fill several blocks at once.
+func (tc *TaskCtx) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*Future {
+	if nOut <= 0 {
+		panic("compss: SubmitN needs nOut >= 1")
+	}
+	return tc.submit(o, nOut, fn, args)
+}
+
+func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Future {
+	if o.Name == "" {
+		o.Name = "task"
+	}
+	if o.Cores == 0 && o.GPUs == 0 {
+		o.Cores = 1
+	}
+
+	// Dependency detection: futures in args, plus this context's sync
+	// floor. Floor entries are tasks this context already synchronised on
+	// (their values are at the master), so they only matter for virtual
+	// time, never for real execution. An argument whose producer was also
+	// synchronised carries its value through the master (ViaMaster); floor
+	// entries that are not arguments are pure ordering (OrderOnly).
+	type depKind int
+	const (
+		depArg depKind = iota
+		depFloor
+	)
+	deps := map[int]depKind{}
+	for _, a := range args {
+		switch v := a.(type) {
+		case *Future:
+			deps[v.st.id] = depArg
+		case []*Future:
+			for _, f := range v {
+				deps[f.st.id] = depArg
+			}
+		}
+	}
+	tc.mu.Lock()
+	synced := make(map[int]bool, len(tc.floor))
+	for id := range tc.floor {
+		synced[id] = true
+		if _, isArg := deps[id]; !isArg {
+			deps[id] = depFloor
+		}
+	}
+	tc.mu.Unlock()
+
+	gdeps := make([]graph.Dep, 0, len(deps))
+	for id, kind := range deps {
+		gdeps = append(gdeps, graph.Dep{
+			Task:      id,
+			ViaMaster: synced[id],
+			OrderOnly: kind == depFloor,
+		})
+	}
+
+	id := tc.rt.g.Add(graph.Task{
+		Name:     o.Name,
+		Parent:   tc.parent,
+		Deps:     gdeps,
+		Cost:     o.Cost,
+		Cores:    o.Cores,
+		GPUs:     o.GPUs,
+		OutBytes: o.OutBytes,
+	})
+
+	st := &taskState{id: id, name: o.Name, done: make(chan struct{}), vals: make([]any, nOut)}
+	futs := make([]*Future, nOut)
+	for i := range futs {
+		futs[i] = &Future{st: st, idx: i}
+	}
+
+	tc.rt.mu.Lock()
+	tc.rt.all = append(tc.rt.all, st)
+	tc.rt.mu.Unlock()
+	tc.mu.Lock()
+	tc.submitted = append(tc.submitted, futs[0])
+	tc.mu.Unlock()
+
+	go tc.rt.run(st, id, nOut, fn, args)
+	return futs
+}
+
+// run executes a task: resolve dependencies, acquire a worker slot, run the
+// body (with panic containment), wait for nested children, publish.
+func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any) {
+	defer close(st.done)
+	submitted := time.Now()
+
+	// Resolve arguments outside the worker slot so blocked tasks do not
+	// hold execution capacity.
+	resolved := make([]any, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case *Future:
+			val, err := v.wait()
+			if err != nil {
+				st.err = fmt.Errorf("task %d (%s): dependency failed: %w", id, st.name, err)
+				return
+			}
+			resolved[i] = val
+		case []*Future:
+			vals := make([]any, len(v))
+			for j, f := range v {
+				val, err := f.wait()
+				if err != nil {
+					st.err = fmt.Errorf("task %d (%s): dependency failed: %w", id, st.name, err)
+					return
+				}
+				vals[j] = val
+			}
+			resolved[i] = vals
+		default:
+			resolved[i] = a
+		}
+	}
+
+	rt.sem <- struct{}{}
+	started := time.Now()
+	child := &TaskCtx{rt: rt, parent: id, insideTask: true}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				st.err = fmt.Errorf("task %d (%s): panic: %v", id, st.name, r)
+			}
+		}()
+		vals, err := fn(child, resolved)
+		if err != nil {
+			st.err = fmt.Errorf("task %d (%s): %w", id, st.name, err)
+			return
+		}
+		if len(vals) != nOut {
+			st.err = fmt.Errorf("task %d (%s): returned %d values, declared %d", id, st.name, len(vals), nOut)
+			return
+		}
+		st.vals = vals
+	}()
+	<-rt.sem
+	rt.rec.add(TaskStat{ID: id, Name: st.name, Queued: started.Sub(submitted), Duration: time.Since(started)})
+
+	// A nested task is not complete until its children are; propagate the
+	// first child error if the body itself succeeded.
+	if cerr := child.waitSubmitted(); cerr != nil && st.err == nil {
+		st.err = fmt.Errorf("task %d (%s): nested task failed: %w", id, st.name, cerr)
+	}
+}
+
+// Get blocks until f's value is available and raises this context's sync
+// floor: tasks submitted afterwards in this context will not start, in
+// virtual time, before the synchronised data reached the master process.
+func (tc *TaskCtx) Get(f *Future) (any, error) {
+	v, err := tc.blockingWait(f)
+	tc.mu.Lock()
+	if tc.floor == nil {
+		tc.floor = map[int]bool{}
+	}
+	tc.floor[f.st.id] = true
+	tc.mu.Unlock()
+	return v, err
+}
+
+// blockingWait waits for a future; when called from inside a task body it
+// releases the worker slot while blocked so nested tasks cannot deadlock
+// the pool.
+func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
+	if !tc.insideTask {
+		return f.wait()
+	}
+	select {
+	case <-f.st.done: // already resolved, no need to release the slot
+	default:
+		<-tc.rt.sem
+		defer func() { tc.rt.sem <- struct{}{} }()
+	}
+	return f.wait()
+}
+
+// WaitAll is a local barrier: it waits for every task submitted through
+// this context and raises the floor past all of them. It returns the first
+// error among them (in submission order).
+func (tc *TaskCtx) WaitAll() error {
+	tc.mu.Lock()
+	snapshot := make([]*Future, len(tc.submitted))
+	copy(snapshot, tc.submitted)
+	tc.mu.Unlock()
+
+	var first error
+	for _, f := range snapshot {
+		if _, err := tc.blockingWait(f); err != nil && first == nil {
+			first = err
+		}
+	}
+	tc.mu.Lock()
+	if tc.floor == nil {
+		tc.floor = map[int]bool{}
+	}
+	for _, f := range snapshot {
+		tc.floor[f.st.id] = true
+	}
+	tc.mu.Unlock()
+	return first
+}
+
+// waitSubmitted waits for this context's tasks without floor bookkeeping;
+// used for the implicit wait when a task body returns. The caller's worker
+// slot is already released at that point.
+func (tc *TaskCtx) waitSubmitted() error {
+	tc.mu.Lock()
+	snapshot := make([]*Future, len(tc.submitted))
+	copy(snapshot, tc.submitted)
+	tc.mu.Unlock()
+	var first error
+	for _, f := range snapshot {
+		if _, err := f.wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// barrierAll waits for every task in the runtime (main Barrier).
+func (tc *TaskCtx) barrierAll() error {
+	tc.rt.mu.Lock()
+	snapshot := make([]*taskState, len(tc.rt.all))
+	copy(snapshot, tc.rt.all)
+	tc.rt.mu.Unlock()
+
+	var first error
+	tc.mu.Lock()
+	if tc.floor == nil {
+		tc.floor = map[int]bool{}
+	}
+	tc.mu.Unlock()
+	for _, st := range snapshot {
+		<-st.done
+		if st.err != nil && first == nil {
+			first = st.err
+		}
+		tc.mu.Lock()
+		tc.floor[st.id] = true
+		tc.mu.Unlock()
+	}
+	return first
+}
+
+// GetAll resolves a slice of futures with Get semantics and returns the
+// values. It fails on the first error.
+func (tc *TaskCtx) GetAll(fs []*Future) ([]any, error) {
+	out := make([]any, len(fs))
+	for i, f := range fs {
+		v, err := tc.Get(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package compss
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TaskStat records the real execution of one task (wall-clock, not virtual
+// time): useful for profiling the Go implementation itself and for
+// validating that the analytic cost model orders kernels sensibly.
+type TaskStat struct {
+	ID       int
+	Name     string
+	Queued   time.Duration // submission → body start (dependency + slot wait)
+	Duration time.Duration // body execution
+}
+
+// statsRecorder accumulates TaskStats when enabled.
+type statsRecorder struct {
+	mu    sync.Mutex
+	on    bool
+	stats []TaskStat
+}
+
+func (r *statsRecorder) add(s TaskStat) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.on {
+		r.stats = append(r.stats, s)
+	}
+}
+
+// EnableStats switches on real-execution profiling for subsequently
+// submitted tasks.
+func (rt *Runtime) EnableStats() { rt.rec.mu.Lock(); rt.rec.on = true; rt.rec.mu.Unlock() }
+
+// Stats returns a snapshot of the recorded task executions.
+func (rt *Runtime) Stats() []TaskStat {
+	rt.rec.mu.Lock()
+	defer rt.rec.mu.Unlock()
+	out := make([]TaskStat, len(rt.rec.stats))
+	copy(out, rt.rec.stats)
+	return out
+}
+
+// StatsByName aggregates total real execution time per task name.
+func (rt *Runtime) StatsByName() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, s := range rt.Stats() {
+		out[s.Name] += s.Duration
+	}
+	return out
+}
+
+// StatsSummary renders a per-name profile table sorted by total time.
+func (rt *Runtime) StatsSummary() string {
+	type row struct {
+		name  string
+		total time.Duration
+		count int
+	}
+	agg := map[string]*row{}
+	for _, s := range rt.Stats() {
+		r, ok := agg[s.Name]
+		if !ok {
+			r = &row{name: s.Name}
+			agg[s.Name] = r
+		}
+		r.total += s.Duration
+		r.count++
+	}
+	rows := make([]*row, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %10s %8s %12s\n", "task", "total", "count", "mean")
+	for _, r := range rows {
+		mean := time.Duration(0)
+		if r.count > 0 {
+			mean = r.total / time.Duration(r.count)
+		}
+		fmt.Fprintf(&b, "%-20s %10s %8d %12s\n", r.name, r.total.Round(time.Microsecond), r.count, mean.Round(time.Microsecond))
+	}
+	return b.String()
+}

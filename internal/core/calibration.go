@@ -1,0 +1,57 @@
+package core
+
+import (
+	"taskml/internal/eddl"
+	"taskml/internal/svm"
+)
+
+// The configurations below are the calibrated reproduction of the paper's
+// Table I experiment. Two things make the synthetic dataset behave like the
+// CinC-2017 recordings (see EXPERIMENTS.md for the measured outcomes):
+//
+//   - class overlap: short single-lead AliveCor strips are noisy and far
+//     from textbook morphology, so the generator runs with high measurement
+//     noise and high AF subtlety (diminished f-waves, partial P waves,
+//     tamed RR irregularity, overlapping ventricular rates);
+//   - high dimensionality: the paper's flattened spectrograms have 18810
+//     features (3269 after PCA); the calibrated config keeps the feature
+//     count high enough (≈1000 raw, ≈100+ after PCA) that distance-based
+//     methods degrade the way the paper observed — KNN collapses to
+//     predicting (almost) everything AF because the shuffling augmentation
+//     makes the minority class locally dense inside the overlap region.
+
+// TableIData returns the dataset configuration for the Table I experiment.
+// scale multiplies the class counts (scale 1 → 120 Normal + 18 AF before
+// augmentation, preserving the paper's ≈6.7:1 imbalance).
+func TableIData(scale int, seed int64) DataConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return DataConfig{
+		NNormal:    120 * scale,
+		NAF:        18 * scale,
+		Seed:       seed,
+		MinDurSec:  9,
+		MaxDurSec:  15,
+		NoiseStd:   0.35,
+		AFSubtlety: 0.85,
+		Feature:    FeatureConfig{PadSec: 15, Window: 256, MaxFreqHz: 70, TimePool: 1},
+	}
+}
+
+// TableIPipeline returns the pipeline configuration for the Table I
+// experiment. The CSVM gamma is fixed (dislib's CascadeSVM style of a fixed
+// kernel width rather than scikit-learn's per-dataset "scale") at the value
+// where the cascade underfits the overlapped classes the way the paper's
+// CSVM does — see EXPERIMENTS.md, experiment T1a.
+func TableIPipeline(seed int64) PipelineConfig {
+	return PipelineConfig{
+		Seed:      seed,
+		Folds:     5,
+		BlockRows: 48,
+		BlockCols: 128,
+		CSVM:      svm.CascadeParams{SVC: svm.SVCParams{C: 1, Gamma: 20}},
+		CNNArch:   eddl.Arch{Filters: 32, Kernel: 5, Stride: 2, Hidden: 32},
+		CNNTrain:  eddl.TrainConfig{Epochs: 7, Workers: 4, LR: 0.1},
+	}
+}

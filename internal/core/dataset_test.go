@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"taskml/internal/ecg"
+)
+
+// smallData is a fast dataset config for unit tests.
+func smallData(seed int64) DataConfig {
+	return DataConfig{
+		NNormal: 40, NAF: 8, Seed: seed,
+		MinDurSec: 9, MaxDurSec: 11,
+		Feature: FeatureConfig{PadSec: 11, Window: 256, MaxFreqHz: 20, TimePool: 2},
+	}
+}
+
+func TestBuildDatasetBalances(t *testing.T) {
+	ds, err := BuildDataset(smallData(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, normal := ds.Counts()
+	if af != normal {
+		t.Fatalf("unbalanced after augmentation: %d AF vs %d Normal", af, normal)
+	}
+	if len(ds.Records) != af+normal || ds.X.Rows != af+normal || len(ds.Y) != af+normal {
+		t.Fatal("dataset bookkeeping inconsistent")
+	}
+}
+
+func TestBuildDatasetSkipBalance(t *testing.T) {
+	cfg := smallData(2)
+	cfg.SkipBalance = true
+	ds, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, normal := ds.Counts()
+	if af != 8 || normal != 40 {
+		t.Fatalf("counts = %d AF / %d Normal, want 8/40", af, normal)
+	}
+}
+
+func TestBuildDatasetFeatureDimensionsConsistent(t *testing.T) {
+	ds, err := BuildDataset(smallData(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Config.Feature.FeatureLen(300)
+	if ds.X.Cols != want {
+		t.Fatalf("feature columns %d, want %d", ds.X.Cols, want)
+	}
+	if ds.X.Cols <= 0 {
+		t.Fatal("no features")
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	a, err := BuildDataset(smallData(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDataset(smallData(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X.Rows != b.X.Rows {
+		t.Fatal("same seed different sizes")
+	}
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed different features")
+		}
+	}
+}
+
+func TestLabelsMatchRecords(t *testing.T) {
+	ds, err := BuildDataset(smallData(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range ds.Records {
+		want := LabelNormal
+		if rec.Class == ecg.AF {
+			want = LabelAF
+		}
+		if ds.Y[i] != want {
+			t.Fatalf("row %d label %d does not match record class %v", i, ds.Y[i], rec.Class)
+		}
+	}
+}
+
+func TestBuildDatasetEmptyErrors(t *testing.T) {
+	cfg := DataConfig{NNormal: -1, NAF: -1, Seed: 1}
+	cfg.NNormal = 0 // withDefaults would reset 0 to 400; force explicit empty
+	cfg.NAF = 0
+	// Zero values trigger the defaults (400/60), so build a config that
+	// cannot be empty; instead check FeatureLen guards.
+	f := FeatureConfig{PadSec: 0.1, Window: 256}
+	if f.withDefaults().PadSec != 0.1 {
+		t.Fatal("explicit PadSec must be kept")
+	}
+}
+
+func TestFeaturesPadTooShortForWindowErrors(t *testing.T) {
+	rec := ecg.Record{Signal: make([]float64, 100), Fs: 300, Class: ecg.Normal}
+	f := FeatureConfig{PadSec: 0.5, Window: 256} // 150 samples < window
+	if _, err := f.Features(rec); err == nil {
+		t.Fatal("want error: padded signal shorter than STFT window")
+	}
+}

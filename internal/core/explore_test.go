@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"taskml/internal/compss"
+	"taskml/internal/svm"
+)
+
+// TestExploreQuality is the calibration probe used to pick the Table I
+// configuration (see calibration.go and EXPERIMENTS.md). It sweeps CSVM
+// hyperparameters against the calibrated dataset and takes minutes, so it
+// only runs when explicitly requested:
+//
+//	TASKML_CALIBRATE=1 go test ./internal/core -run TestExploreQuality -v
+func TestExploreQuality(t *testing.T) {
+	if os.Getenv("TASKML_CALIBRATE") == "" {
+		t.Skip("calibration probe; set TASKML_CALIBRATE=1 to run")
+	}
+	ds, err := BuildDataset(TableIData(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := compss.New(compss.Config{})
+	rx, k, err := ReduceWithPCA(rt, ds, TableIPipeline(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("features=%d k=%d\n", ds.X.Cols, k)
+
+	show := func(tag string, rep *CVReport) {
+		c := rep.Confusion
+		fmt.Printf("%-22s acc=%.3f [AF→AF %.3f AF→N %.3f N→AF %.3f N→N %.3f]\n",
+			tag, rep.Accuracy(), c.Fraction(0, 0), c.Fraction(0, 1), c.Fraction(1, 0), c.Fraction(1, 1))
+	}
+
+	for _, p := range []svm.SVCParams{
+		{C: 1, Gamma: 10}, {C: 1, Gamma: 15}, {C: 1, Gamma: 20}, {C: 1, Gamma: 30}, {C: 1},
+	} {
+		cfg := TableIPipeline(1)
+		cfg.CSVM = svm.CascadeParams{SVC: p}
+		rep, err := RunCVReduced(ModelCSVM, rt, rx, k, ds.Y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		show(fmt.Sprintf("csvm C=%v g=%v", p.C, p.Gamma), rep)
+	}
+	for _, m := range []Model{ModelKNN, ModelRF, ModelCNN} {
+		rep, err := RunCVReduced(m, rt, rx, k, ds.Y, TableIPipeline(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		show(string(m), rep)
+	}
+}

@@ -1,0 +1,84 @@
+package costs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSecLinear(t *testing.T) {
+	if Sec(RefFlops) != 1 {
+		t.Fatalf("Sec(RefFlops) = %v, want 1", Sec(RefFlops))
+	}
+	if Sec(0) != 0 {
+		t.Fatal("Sec(0) must be 0")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if Bytes(10, 20) != 1600 {
+		t.Fatalf("Bytes(10,20) = %d", Bytes(10, 20))
+	}
+	if Bytes(0, 5) != 0 {
+		t.Fatal("empty matrix must have 0 bytes")
+	}
+}
+
+func TestIOThroughput(t *testing.T) {
+	if IO(int64(MasterIOBps)) != 1 {
+		t.Fatalf("IO(MasterIOBps) = %v, want 1 s", IO(int64(MasterIOBps)))
+	}
+}
+
+// Property: all cost functions are non-negative and monotone in their size
+// arguments.
+func TestCostsMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n, m := int(a)+1, int(b)+1
+		bigger := n * 2
+		checks := []struct{ small, large float64 }{
+			{Copy(n, m), Copy(bigger, m)},
+			{Gemm(n, m, n), Gemm(bigger, m, n)},
+			{Eigh(n), Eigh(bigger)},
+			{SVCFit(n, m), SVCFit(bigger, m)},
+			{SVCPredict(n, n, m), SVCPredict(bigger, n, m)},
+			{Scaler(n, m), Scaler(bigger, m)},
+			{KNNQuery(n, n, m), KNNQuery(bigger, n, m)},
+			{TreeFit(n, m, 4), TreeFit(bigger, m, 4)},
+			{TreePredict(n, 4), TreePredict(bigger, 4)},
+			{NNForwardBackward(n, float64(m)), NNForwardBackward(bigger, float64(m))},
+		}
+		for _, c := range checks {
+			if c.small < 0 || c.large < c.small {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSTFTCost(t *testing.T) {
+	if STFT(0, 256, 128) != 0 || STFT(1000, 0, 10) != 0 || STFT(1000, 256, 0) != 0 {
+		t.Fatal("degenerate STFT costs must be 0")
+	}
+	small := STFT(1000, 256, 128)
+	big := STFT(10000, 256, 128)
+	if small <= 0 || big <= small {
+		t.Fatalf("STFT cost not monotone: %v vs %v", small, big)
+	}
+}
+
+func TestRelativeKernelOrdering(t *testing.T) {
+	// SVC training on n samples must dwarf a single scaler pass — the
+	// balance the scheduling figures depend on.
+	n, d := 500, 100
+	if SVCFit(n, d) <= 100*Scaler(n, d) {
+		t.Fatalf("SVCFit (%v) should be orders above Scaler (%v)", SVCFit(n, d), Scaler(n, d))
+	}
+	// An eigendecomposition dominates the GEMM of the same size.
+	if Eigh(n) <= Gemm(n, n, n) {
+		t.Fatalf("Eigh (%v) should exceed Gemm (%v)", Eigh(n), Gemm(n, n, n))
+	}
+}

@@ -1,0 +1,41 @@
+package dsarray
+
+import (
+	"taskml/internal/compss"
+	"taskml/internal/mat"
+)
+
+// FromLabels loads an integer label vector as a 1-column Array with the
+// given row blocking, aligned with a samples Array that shares brows —
+// dislib's convention of passing x and y as twin ds-arrays.
+func FromLabels(tc *compss.TaskCtx, labels []int, brows int) *Array {
+	m := mat.New(len(labels), 1)
+	for i, l := range labels {
+		m.Set(i, 0, float64(l))
+	}
+	return FromMatrix(tc, m, brows, 1)
+}
+
+// LabelsToInts converts a 1-column label matrix back to ints (rounding,
+// since labels travel as float64 blocks).
+func LabelsToInts(m *mat.Dense) []int {
+	out := make([]int, m.Rows)
+	for i := range out {
+		v := m.At(i, 0)
+		if v >= 0 {
+			out[i] = int(v + 0.5)
+		} else {
+			out[i] = int(v - 0.5)
+		}
+	}
+	return out
+}
+
+// CollectLabels synchronises a 1-column Array into an int slice.
+func CollectLabels(a *Array) ([]int, error) {
+	m, err := a.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return LabelsToInts(m), nil
+}

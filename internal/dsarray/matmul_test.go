@@ -1,0 +1,106 @@
+package dsarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taskml/internal/mat"
+)
+
+func TestMatMulMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := newRT()
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(12)
+		a := randMatrix(rng, n, k)
+		b := randMatrix(rng, k, m)
+		shared := 1 + rng.Intn(k)
+		da := FromMatrix(rt.Main(), a, 1+rng.Intn(n), shared)
+		db := FromMatrix(rt.Main(), b, shared, 1+rng.Intn(m))
+		prod, err := MatMul(da, db)
+		if err != nil {
+			return false
+		}
+		got, err := prod.Collect()
+		if err != nil {
+			return false
+		}
+		return mat.Equal(got, mat.Mul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	rt := newRT()
+	a := FromMatrix(rt.Main(), mat.New(4, 3), 2, 3)
+	bad := FromMatrix(rt.Main(), mat.New(5, 2), 2, 2)
+	if _, err := MatMul(a, bad); err == nil {
+		t.Fatal("want inner-dimension error")
+	}
+	misblocked := FromMatrix(rt.Main(), mat.New(3, 2), 2, 2) // block rows 2 != a block cols 3
+	if _, err := MatMul(a, misblocked); err == nil {
+		t.Fatal("want block-mismatch error")
+	}
+}
+
+func TestMatMulOutputBlocking(t *testing.T) {
+	rt := newRT()
+	rng := rand.New(rand.NewSource(1))
+	a := FromMatrix(rt.Main(), randMatrix(rng, 6, 4), 3, 2)
+	b := FromMatrix(rt.Main(), randMatrix(rng, 4, 6), 2, 3)
+	prod, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Rows() != 6 || prod.Cols() != 6 || prod.BlockRows() != 3 || prod.BlockCols() != 3 {
+		t.Fatalf("output shape %dx%d blocks %dx%d", prod.Rows(), prod.Cols(), prod.BlockRows(), prod.BlockCols())
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	counts := rt.Graph().CountByName()
+	// 2×2 output grid × 2 partials each.
+	if counts["gemm_block"] != 8 {
+		t.Fatalf("gemm_block = %d, want 8", counts["gemm_block"])
+	}
+	if counts["gemm_add"] != 4 {
+		t.Fatalf("gemm_add = %d, want 4", counts["gemm_add"])
+	}
+}
+
+func TestTransposeMatchesSerial(t *testing.T) {
+	rt := newRT()
+	rng := rand.New(rand.NewSource(2))
+	m := randMatrix(rng, 7, 5)
+	a := FromMatrix(rt.Main(), m, 3, 2)
+	tr := a.Transpose()
+	got, err := tr.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(got, m.T(), 0) {
+		t.Fatal("Transpose disagrees with serial")
+	}
+	if tr.Rows() != 5 || tr.Cols() != 7 || tr.BlockRows() != 2 || tr.BlockCols() != 3 {
+		t.Fatalf("transpose blocking wrong: %dx%d blocks %dx%d", tr.Rows(), tr.Cols(), tr.BlockRows(), tr.BlockCols())
+	}
+}
+
+func TestTransposeInvolutionDistributed(t *testing.T) {
+	rt := newRT()
+	rng := rand.New(rand.NewSource(3))
+	m := randMatrix(rng, 9, 4)
+	a := FromMatrix(rt.Main(), m, 4, 3)
+	back, err := a.Transpose().Transpose().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(back, m, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}

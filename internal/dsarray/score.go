@@ -1,0 +1,53 @@
+package dsarray
+
+import (
+	"errors"
+	"fmt"
+
+	"taskml/internal/compss"
+	"taskml/internal/costs"
+	"taskml/internal/mat"
+)
+
+// Accuracy compares two aligned 1-column label arrays with one task per row
+// block plus a pairwise reduction, then synchronises the scalar — the
+// pattern every estimator's Score method uses ("calculates the score
+// returning the mean accuracy on a given test data and labels").
+func Accuracy(pred, truth *Array) (float64, error) {
+	if pred.Rows() != truth.Rows() || pred.NumRowBlocks() != truth.NumRowBlocks() {
+		return 0, errors.New("dsarray: prediction and truth blocking mismatch")
+	}
+	tc := pred.Ctx()
+	partials := make([]*compss.Future, pred.NumRowBlocks())
+	for i := range partials {
+		partials[i] = tc.Submit(compss.Opts{
+			Name:     "score_block",
+			Cost:     costs.Copy(pred.RowBlockRows(i), 2),
+			OutBytes: 16,
+		}, func(_ *compss.TaskCtx, args []any) (any, error) {
+			p := args[0].(*mat.Dense)
+			t := args[1].(*mat.Dense)
+			if p.Rows != t.Rows {
+				return nil, fmt.Errorf("dsarray: score block rows %d vs %d", p.Rows, t.Rows)
+			}
+			correct := 0.0
+			for r := 0; r < p.Rows; r++ {
+				if int(p.At(r, 0)+0.5) == int(t.At(r, 0)+0.5) {
+					correct++
+				}
+			}
+			return mat.NewFromData(1, 2, []float64{correct, float64(p.Rows)}), nil
+		}, pred.RowBlock(i), truth.RowBlock(i))
+	}
+	total := Reduce(tc, "score_merge", partials, 0, 16,
+		func(a, b *mat.Dense) *mat.Dense { return mat.Add(a, b) })
+	v, err := tc.Get(total)
+	if err != nil {
+		return 0, err
+	}
+	m := v.(*mat.Dense)
+	if m.At(0, 1) == 0 {
+		return 0, errors.New("dsarray: empty score")
+	}
+	return m.At(0, 0) / m.At(0, 1), nil
+}

@@ -1,0 +1,310 @@
+package ecg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"taskml/internal/sigproc"
+)
+
+func stats(xs []float64) (mean, std float64) {
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return
+}
+
+func TestClassString(t *testing.T) {
+	if Normal.String() != "Normal" || AF.String() != "AF" {
+		t.Fatal("Class.String wrong")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class must still render")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(GenConfig{Seed: 42}).Record(Normal)
+	b := NewGenerator(GenConfig{Seed: 42}).Record(Normal)
+	if len(a.Signal) != len(b.Signal) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a.Signal {
+		if a.Signal[i] != b.Signal[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestRecordDurationInRange(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 1})
+	for i := 0; i < 20; i++ {
+		r := g.Record(Class(i % 2))
+		d := r.DurationSec()
+		if d < 9-1e-9 || d > 61+1e-9 {
+			t.Fatalf("duration %v outside [9, 61]", d)
+		}
+		if r.Fs != 300 {
+			t.Fatalf("Fs = %v, want 300", r.Fs)
+		}
+	}
+}
+
+func TestDatasetCountsAndShuffle(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 2, MinDurSec: 9, MaxDurSec: 12})
+	recs := g.Dataset(12, 5)
+	if len(recs) != 17 {
+		t.Fatalf("Dataset length %d", len(recs))
+	}
+	n, a := Counts(recs)
+	if n != 12 || a != 5 {
+		t.Fatalf("Counts = %d, %d", n, a)
+	}
+	// Shuffled: the first 12 records should not all be Normal.
+	allNormal := true
+	for _, r := range recs[:12] {
+		if r.Class != Normal {
+			allNormal = false
+		}
+	}
+	if allNormal {
+		t.Fatal("Dataset does not appear shuffled")
+	}
+}
+
+func TestDetectRPeaksOnCleanNormal(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 3, MinDurSec: 30, MaxDurSec: 30.5, NoiseStd: 0.01})
+	r := g.Record(Normal)
+	peaks := DetectRPeaks(r.Signal, r.Fs)
+	// ~30 s at 63–80 bpm → between 23 and 42 beats.
+	if len(peaks) < 23 || len(peaks) > 42 {
+		t.Fatalf("detected %d peaks on a 30 s Normal record", len(peaks))
+	}
+	// RR intervals must be physiological and regular.
+	rrs := RRIntervals(peaks, r.Fs)
+	mean, std := stats(rrs)
+	if mean < 0.6 || mean > 1.1 {
+		t.Fatalf("mean RR = %v", mean)
+	}
+	if std/mean > 0.12 {
+		t.Fatalf("Normal RR variability %v too high", std/mean)
+	}
+}
+
+func TestAFRRMoreIrregularThanNormal(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 4, MinDurSec: 40, MaxDurSec: 41})
+	var cvN, cvA float64
+	const reps = 5
+	for i := 0; i < reps; i++ {
+		rn := g.Record(Normal)
+		ra := g.Record(AF)
+		pn := DetectRPeaks(rn.Signal, rn.Fs)
+		pa := DetectRPeaks(ra.Signal, ra.Fs)
+		mn, sn := stats(RRIntervals(pn, rn.Fs))
+		ma, sa := stats(RRIntervals(pa, ra.Fs))
+		cvN += sn / mn
+		cvA += sa / ma
+	}
+	if cvA <= cvN*1.5 {
+		t.Fatalf("AF RR coefficient of variation (%v) not clearly above Normal (%v)", cvA/reps, cvN/reps)
+	}
+}
+
+// P-wave band: Normal ECG has extra low-frequency energy right before each
+// QRS; AF replaces it with a 4–9 Hz f-wave. Check the f-wave band (4–9 Hz)
+// carries relatively more energy in AF.
+func TestAFHasFWaveBandEnergy(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 5, MinDurSec: 30, MaxDurSec: 31, NoiseStd: 0.01})
+	bandRatio := func(r Record) float64 {
+		cfg := sigproc.SpectrogramConfig{Fs: r.Fs, WindowSize: 512, Overlap: 256}
+		m, freqs, _, err := sigproc.Spectrogram(r.Signal, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var band, total float64
+		for b := 0; b < m.Rows; b++ {
+			var p float64
+			for s := 0; s < m.Cols; s++ {
+				p += m.At(b, s)
+			}
+			total += p
+			if freqs[b] >= 4 && freqs[b] <= 9 {
+				band += p
+			}
+		}
+		return band / total
+	}
+	var rn, ra float64
+	for i := 0; i < 4; i++ {
+		rn += bandRatio(g.Record(Normal))
+		ra += bandRatio(g.Record(AF))
+	}
+	if ra <= rn {
+		t.Fatalf("AF f-wave band ratio (%v) not above Normal (%v)", ra/4, rn/4)
+	}
+}
+
+func TestDetectRPeaksEmptyAndFlat(t *testing.T) {
+	if p := DetectRPeaks(nil, 300); p != nil {
+		t.Fatal("nil signal should yield no peaks")
+	}
+	if p := DetectRPeaks(make([]float64, 3000), 300); len(p) != 0 {
+		t.Fatalf("flat signal yielded %d peaks", len(p))
+	}
+}
+
+func TestRRIntervals(t *testing.T) {
+	rr := RRIntervals([]int{0, 300, 750}, 300)
+	if len(rr) != 2 || rr[0] != 1 || rr[1] != 1.5 {
+		t.Fatalf("RRIntervals = %v", rr)
+	}
+	if RRIntervals([]int{5}, 300) != nil {
+		t.Fatal("single peak must yield nil")
+	}
+}
+
+func TestAugmentShufflePreservesSamples(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 6, MinDurSec: 30, MaxDurSec: 31, NoiseStd: 0.01})
+	rec := g.Record(AF)
+	rng := rand.New(rand.NewSource(7))
+	aug := AugmentShuffle(rec, rng)
+	if !aug.Augmented {
+		t.Fatal("augmented record not marked")
+	}
+	if len(aug.Signal) != len(rec.Signal) {
+		t.Fatalf("augmentation changed length %d → %d", len(rec.Signal), len(aug.Signal))
+	}
+	a := append([]float64(nil), rec.Signal...)
+	b := append([]float64(nil), aug.Signal...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("augmentation is not a permutation of the samples")
+		}
+	}
+	if aug.Class != rec.Class || aug.Fs != rec.Fs {
+		t.Fatal("augmentation must preserve class and Fs")
+	}
+}
+
+func TestAugmentShuffleActuallyShuffles(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 8, MinDurSec: 40, MaxDurSec: 41, NoiseStd: 0.01})
+	rec := g.Record(AF)
+	rng := rand.New(rand.NewSource(9))
+	changed := false
+	for try := 0; try < 5 && !changed; try++ {
+		aug := AugmentShuffle(rec, rng)
+		for i := range rec.Signal {
+			if aug.Signal[i] != rec.Signal[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("augmentation never changed the signal in 5 tries")
+	}
+}
+
+func TestAugmentShuffleTooFewPeaksIsIdentity(t *testing.T) {
+	short := Record{Signal: make([]float64, 300), Class: AF, Fs: 300}
+	rng := rand.New(rand.NewSource(1))
+	aug := AugmentShuffle(short, rng)
+	if aug.Augmented {
+		t.Fatal("record without two patches must be returned unchanged")
+	}
+}
+
+func TestBalanceEqualizesClasses(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 10, MinDurSec: 20, MaxDurSec: 22, NoiseStd: 0.02})
+	recs := g.Dataset(14, 3)
+	rng := rand.New(rand.NewSource(11))
+	bal := Balance(recs, rng)
+	n, a := Counts(bal)
+	if n != a {
+		t.Fatalf("Balance: %d Normal vs %d AF", n, a)
+	}
+	if len(bal) != 28 {
+		t.Fatalf("Balance produced %d records, want 28", len(bal))
+	}
+	// All added records must be augmented AF.
+	added := 0
+	for _, r := range bal {
+		if r.Augmented {
+			added++
+			if r.Class != AF {
+				t.Fatal("augmented record with wrong class")
+			}
+		}
+	}
+	if added != 11 {
+		t.Fatalf("added %d augmented records, want 11", added)
+	}
+}
+
+func TestBalanceAlreadyBalancedNoOp(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 12, MinDurSec: 10, MaxDurSec: 12})
+	recs := g.Dataset(3, 3)
+	bal := Balance(recs, rand.New(rand.NewSource(1)))
+	if len(bal) != 6 {
+		t.Fatalf("balanced input grew to %d", len(bal))
+	}
+}
+
+func TestBalanceEmptyMinority(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 13, MinDurSec: 10, MaxDurSec: 12})
+	recs := g.Dataset(3, 0)
+	bal := Balance(recs, rand.New(rand.NewSource(1)))
+	if len(bal) != 3 {
+		t.Fatal("Balance with no minority source must be a no-op")
+	}
+}
+
+func BenchmarkGenerateRecord(b *testing.B) {
+	g := NewGenerator(GenConfig{Seed: 14, MinDurSec: 30, MaxDurSec: 31})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Record(AF)
+	}
+}
+
+func BenchmarkDetectRPeaks30s(b *testing.B) {
+	g := NewGenerator(GenConfig{Seed: 15, MinDurSec: 30, MaxDurSec: 31})
+	r := g.Record(Normal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectRPeaks(r.Signal, r.Fs)
+	}
+}
+
+func TestParoxysmalOnsetAndLength(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 30, NoiseStd: 0.02})
+	rec, onset := g.Paroxysmal(20, 15)
+	if rec.Class != AF {
+		t.Fatalf("paroxysmal record class %v, want AF", rec.Class)
+	}
+	if math.Abs(float64(onset)/rec.Fs-20) > 0.1 {
+		t.Fatalf("onset at %v s, want ≈ 20", float64(onset)/rec.Fs)
+	}
+	if math.Abs(rec.DurationSec()-35) > 0.2 {
+		t.Fatalf("duration %v s, want ≈ 35", rec.DurationSec())
+	}
+	// The prefix must be calmer than the suffix in RR variability.
+	pre := Record{Signal: rec.Signal[:onset], Fs: rec.Fs}
+	post := Record{Signal: rec.Signal[onset:], Fs: rec.Fs}
+	mp, sp := stats(RRIntervals(DetectRPeaks(pre.Signal, pre.Fs), pre.Fs))
+	ma, sa := stats(RRIntervals(DetectRPeaks(post.Signal, post.Fs), post.Fs))
+	if sa/ma <= sp/mp {
+		t.Fatalf("AF segment CV (%v) not above Normal segment CV (%v)", sa/ma, sp/mp)
+	}
+}

@@ -1,0 +1,240 @@
+package eddl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taskml/internal/mat"
+)
+
+func TestMaxPool1DForward(t *testing.T) {
+	p := NewMaxPool1D(2, 4, 2) // 2 channels, length 4, pool 2
+	x := mat.NewFromData(1, 8, []float64{
+		1, 5, 2, 3, // channel 0
+		-1, -2, 7, 0, // channel 1
+	})
+	out := p.Forward(x)
+	want := []float64{5, 3, -1, 7}
+	for i, w := range want {
+		if out.At(0, i) != w {
+			t.Fatalf("pooled = %v, want %v", out.Row(0), want)
+		}
+	}
+	if p.OutCols() != 4 || p.OutLen() != 2 {
+		t.Fatalf("OutCols=%d OutLen=%d", p.OutCols(), p.OutLen())
+	}
+}
+
+func TestMaxPool1DBackwardRoutesToWinners(t *testing.T) {
+	p := NewMaxPool1D(1, 4, 2)
+	x := mat.NewFromData(1, 4, []float64{1, 5, 2, 3})
+	p.Forward(x)
+	grad := mat.NewFromData(1, 2, []float64{10, 20})
+	dx := p.Backward(grad)
+	want := []float64{0, 10, 0, 20}
+	for i, w := range want {
+		if dx.At(0, i) != w {
+			t.Fatalf("dx = %v, want %v", dx.Row(0), want)
+		}
+	}
+}
+
+func TestMaxPool1DGradientCheck(t *testing.T) {
+	// A network with pooling must still pass the numerical gradient check.
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv1D(1, 2, 12, 3, 1, rng)
+	pool := NewMaxPool1D(2, conv.OutLen(), 2)
+	dense := NewDense(pool.OutCols(), 2, rng)
+	net := &Network{Layers: []Layer{conv, NewReLU(conv.OutCols()), pool, dense}, Classes: 2}
+
+	x := mat.New(2, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := []int{0, 1}
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = 0
+			}
+		}
+	}
+	logits := net.Forward(x)
+	_, grad := softmaxCE(logits, y)
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		grad = net.Layers[i].Backward(grad)
+	}
+	const eps = 1e-6
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			step := len(p.W.Data)/4 + 1
+			for i := 0; i < len(p.W.Data); i += step {
+				orig := p.W.Data[i]
+				p.W.Data[i] = orig + eps
+				lp, _ := softmaxCEOf(net, x, y)
+				p.W.Data[i] = orig - eps
+				lm, _ := softmaxCEOf(net, x, y)
+				p.W.Data[i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				analytic := p.Grad.Data[i]
+				if math.Abs(numeric-analytic) > 1e-4*(math.Abs(numeric)+math.Abs(analytic)+1e-3) {
+					t.Fatalf("pooled-net gradient mismatch: numeric %v vs analytic %v", numeric, analytic)
+				}
+			}
+		}
+	}
+}
+
+func softmaxCEOf(n *Network, x *mat.Dense, y []int) (float64, *mat.Dense) {
+	return softmaxCE(n.Forward(x), y)
+}
+
+func TestMaxPool1DInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMaxPool1D(1, 4, 5)
+}
+
+func TestDropoutIdentityAtEval(t *testing.T) {
+	d := NewDropout(8, 0.5, 1)
+	x := mat.New(3, 8)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := d.Forward(x) // Eval by default
+	if !mat.Equal(out, x, 0) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+}
+
+func TestDropoutTrainingDropsAndScales(t *testing.T) {
+	d := NewDropout(1000, 0.4, 2)
+	d.Train()
+	x := mat.New(1, 1000)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	out := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range out.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-1/0.6) < 1e-12:
+			scaled++
+		default:
+			t.Fatalf("unexpected activation %v", v)
+		}
+	}
+	if zeros < 300 || zeros > 500 {
+		t.Fatalf("%d of 1000 dropped at rate 0.4", zeros)
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("activations unaccounted for")
+	}
+	// Backward masks the same entries.
+	grad := mat.New(1, 1000)
+	for i := range grad.Data {
+		grad.Data[i] = 1
+	}
+	dg := d.Backward(grad)
+	for i, v := range out.Data {
+		if (v == 0) != (dg.Data[i] == 0) {
+			t.Fatal("backward mask disagrees with forward")
+		}
+	}
+}
+
+func TestDropoutInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDropout(4, 1.0, 1)
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	// On a fixed gradient, momentum accumulates: the second step moves
+	// farther than the first.
+	net := &Network{Layers: []Layer{NewDense(1, 1, rand.New(rand.NewSource(3)))}, Classes: 1}
+	p := net.Layers[0].Params()[0]
+	p.W.Data[0] = 0
+	opt := NewSGD(0.1, 0.9)
+
+	p.Grad.Data[0] = 1
+	opt.Step(net)
+	first := -p.W.Data[0]
+	before := p.W.Data[0]
+	p.Grad.Data[0] = 1
+	opt.Step(net)
+	second := before - p.W.Data[0]
+	if second <= first {
+		t.Fatalf("momentum did not accelerate: first %v, second %v", first, second)
+	}
+}
+
+func TestTrainEpochSGDMatchesPlainAtZeroMomentum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := waves(rng, 80, 16)
+	a := tinyArch().Build(9)
+	b := tinyArch().Build(9)
+	ra := rand.New(rand.NewSource(5))
+	rb := rand.New(rand.NewSource(5))
+	lossA, err := a.TrainEpoch(x, y, 0.05, 16, ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, err := b.TrainEpochSGD(x, y, NewSGD(0.05, 0), 16, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lossA-lossB) > 1e-12 {
+		t.Fatalf("losses differ: %v vs %v", lossA, lossB)
+	}
+	for i, wa := range a.Weights() {
+		wb := b.Weights()[i]
+		if !mat.Equal(wa, wb, 1e-12) {
+			t.Fatalf("weight tensor %d differs between plain and SGD(0) training", i)
+		}
+	}
+}
+
+func TestTrainEpochSGDWithDropoutLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := waves(rng, 160, 16)
+	arch := tinyArch()
+	conv := NewConv1D(1, arch.Filters, arch.InputLen, arch.Kernel, arch.Stride, rng)
+	drop := NewDropout(conv.OutCols(), 0.2, 7)
+	dense := NewDense(conv.OutCols(), 2, rng)
+	net := &Network{Layers: []Layer{conv, NewReLU(conv.OutCols()), drop, dense}, Classes: 2}
+	opt := NewSGD(0.05, 0.9)
+	var loss float64
+	var err error
+	for e := 0; e < 20; e++ {
+		loss, err = net.TrainEpochSGD(x, y, opt, 16, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.4 {
+		t.Fatalf("loss %v after training with dropout+momentum", loss)
+	}
+	if drop.training {
+		t.Fatal("dropout left in training mode after the epoch")
+	}
+	pred := net.Predict(x)
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.85 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}

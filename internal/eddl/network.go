@@ -1,0 +1,470 @@
+// Package eddl is the deep-learning substrate of the paper's §III-D: a
+// small neural-network library in the role of EDDL (the European
+// Distributed Deep Learning library), plus the PyCOMPSs-distributed
+// data-parallel trainer of Figures 9 (plain) and 10 (nested).
+//
+// The network architecture the paper converged on — "two 1-dimensional
+// convolutional layers with 32 filters and a final dense layer with 32
+// neurons" — is available through NewCNN. Training is plain mini-batch SGD
+// on softmax cross-entropy; data parallelism retrieves the weights of every
+// worker after each epoch, merges (averages) them, and seeds the next epoch,
+// exactly the synchronisation pattern whose cost the paper analyses.
+package eddl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"taskml/internal/mat"
+)
+
+// Layer is one differentiable stage. Forward caches whatever Backward
+// needs; Backward receives dLoss/dOut and returns dLoss/dIn, accumulating
+// parameter gradients internally.
+type Layer interface {
+	Forward(x *mat.Dense) *mat.Dense
+	Backward(grad *mat.Dense) *mat.Dense
+	// Params returns the trainable tensors (nil for stateless layers).
+	Params() []*Param
+	// FwdFlops is the forward cost per sample, for the virtual-time model.
+	FwdFlops() float64
+	// OutCols is the flattened output width given the configured input.
+	OutCols() int
+}
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	W    *mat.Dense
+	Grad *mat.Dense
+}
+
+func newParam(r, c int) *Param {
+	return &Param{W: mat.New(r, c), Grad: mat.New(r, c)}
+}
+
+// Conv1D is a 1-D convolution over single- or multi-channel sequences laid
+// out channel-major: column ci*L + t holds channel ci at time t.
+type Conv1D struct {
+	InChannels, OutChannels int
+	InLen, Kernel, Stride   int
+
+	w, b  *Param
+	lastX *mat.Dense
+}
+
+// NewConv1D builds the layer with He-initialised weights.
+func NewConv1D(inCh, outCh, inLen, kernel, stride int, rng *rand.Rand) *Conv1D {
+	if stride < 1 {
+		stride = 1
+	}
+	if kernel > inLen {
+		panic(fmt.Sprintf("eddl: kernel %d exceeds input length %d", kernel, inLen))
+	}
+	c := &Conv1D{InChannels: inCh, OutChannels: outCh, InLen: inLen, Kernel: kernel, Stride: stride}
+	c.w = newParam(outCh, inCh*kernel)
+	c.b = newParam(1, outCh)
+	scale := math.Sqrt(2 / float64(inCh*kernel))
+	for i := range c.w.W.Data {
+		c.w.W.Data[i] = rng.NormFloat64() * scale
+	}
+	return c
+}
+
+// OutLen is the output sequence length.
+func (c *Conv1D) OutLen() int { return (c.InLen-c.Kernel)/c.Stride + 1 }
+
+// OutCols implements Layer.
+func (c *Conv1D) OutCols() int { return c.OutChannels * c.OutLen() }
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != c.InChannels*c.InLen {
+		panic(fmt.Sprintf("eddl: conv input %d cols, want %d", x.Cols, c.InChannels*c.InLen))
+	}
+	c.lastX = x
+	lout := c.OutLen()
+	out := mat.New(x.Rows, c.OutChannels*lout)
+	for bi := 0; bi < x.Rows; bi++ {
+		xr := x.Row(bi)
+		or := out.Row(bi)
+		for co := 0; co < c.OutChannels; co++ {
+			wr := c.w.W.Row(co)
+			bias := c.b.W.At(0, co)
+			for t := 0; t < lout; t++ {
+				s := bias
+				base := t * c.Stride
+				for ci := 0; ci < c.InChannels; ci++ {
+					xoff := ci*c.InLen + base
+					woff := ci * c.Kernel
+					for k := 0; k < c.Kernel; k++ {
+						s += wr[woff+k] * xr[xoff+k]
+					}
+				}
+				or[co*lout+t] = s
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *mat.Dense) *mat.Dense {
+	lout := c.OutLen()
+	dx := mat.New(c.lastX.Rows, c.lastX.Cols)
+	for bi := 0; bi < grad.Rows; bi++ {
+		gr := grad.Row(bi)
+		xr := c.lastX.Row(bi)
+		dxr := dx.Row(bi)
+		for co := 0; co < c.OutChannels; co++ {
+			wr := c.w.W.Row(co)
+			gwr := c.w.Grad.Row(co)
+			var db float64
+			for t := 0; t < lout; t++ {
+				g := gr[co*lout+t]
+				if g == 0 {
+					continue
+				}
+				db += g
+				base := t * c.Stride
+				for ci := 0; ci < c.InChannels; ci++ {
+					xoff := ci*c.InLen + base
+					woff := ci * c.Kernel
+					for k := 0; k < c.Kernel; k++ {
+						gwr[woff+k] += g * xr[xoff+k]
+						dxr[xoff+k] += g * wr[woff+k]
+					}
+				}
+			}
+			c.b.Grad.Set(0, co, c.b.Grad.At(0, co)+db)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// FwdFlops implements Layer.
+func (c *Conv1D) FwdFlops() float64 {
+	return 2 * float64(c.OutChannels) * float64(c.OutLen()) * float64(c.InChannels) * float64(c.Kernel)
+}
+
+// Dense is a fully connected layer.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   *mat.Dense
+}
+
+// NewDense builds the layer with He-initialised weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam(in, out), b: newParam(1, out)}
+	scale := math.Sqrt(2 / float64(in))
+	for i := range d.w.W.Data {
+		d.w.W.Data[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+// OutCols implements Layer.
+func (d *Dense) OutCols() int { return d.Out }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("eddl: dense input %d cols, want %d", x.Cols, d.In))
+	}
+	d.lastX = x
+	out := mat.Mul(x, d.w.W)
+	for bi := 0; bi < out.Rows; bi++ {
+		row := out.Row(bi)
+		for j := range row {
+			row[j] += d.b.W.At(0, j)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *mat.Dense) *mat.Dense {
+	mat.AddInPlace(d.w.Grad, mat.MulAtB(d.lastX, grad))
+	for bi := 0; bi < grad.Rows; bi++ {
+		row := grad.Row(bi)
+		for j, g := range row {
+			d.b.Grad.Set(0, j, d.b.Grad.At(0, j)+g)
+		}
+	}
+	return mat.MulABt(grad, d.w.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// FwdFlops implements Layer.
+func (d *Dense) FwdFlops() float64 { return 2 * float64(d.In) * float64(d.Out) }
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	cols int
+	mask []bool
+}
+
+// NewReLU builds the activation for a given width.
+func NewReLU(cols int) *ReLU { return &ReLU{cols: cols} }
+
+// OutCols implements Layer.
+func (r *ReLU) OutCols() int { return r.cols }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *mat.Dense) *mat.Dense {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *mat.Dense) *mat.Dense {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// FwdFlops implements Layer.
+func (r *ReLU) FwdFlops() float64 { return float64(r.cols) }
+
+// Network is a sequential stack of layers with a softmax cross-entropy
+// head.
+type Network struct {
+	Layers  []Layer
+	Classes int
+}
+
+// NewCNN builds the paper's architecture for a 1-D input of length
+// inputLen: Conv1D(filters)–ReLU–Conv1D(filters)–ReLU–Dense(hidden)–ReLU–
+// Dense(classes). kernel and stride shape the convolutions.
+func NewCNN(inputLen, filters, kernel, stride, hidden, classes int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	c1 := NewConv1D(1, filters, inputLen, kernel, stride, rng)
+	c2 := NewConv1D(filters, filters, c1.OutLen(), kernel, stride, rng)
+	flat := c2.OutCols()
+	d1 := NewDense(flat, hidden, rng)
+	d2 := NewDense(hidden, classes, rng)
+	return &Network{
+		Layers: []Layer{
+			c1, NewReLU(c1.OutCols()),
+			c2, NewReLU(c2.OutCols()),
+			d1, NewReLU(hidden),
+			d2,
+		},
+		Classes: classes,
+	}
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x *mat.Dense) *mat.Dense {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// softmaxCE computes per-batch mean loss and the logits gradient.
+func softmaxCE(logits *mat.Dense, y []int) (float64, *mat.Dense) {
+	grad := mat.New(logits.Rows, logits.Cols)
+	var loss float64
+	for bi := 0; bi < logits.Rows; bi++ {
+		row := logits.Row(bi)
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		g := grad.Row(bi)
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range g {
+			g[j] *= inv
+		}
+		loss += -math.Log(math.Max(g[y[bi]], 1e-15))
+		g[y[bi]] -= 1
+	}
+	invB := 1 / float64(logits.Rows)
+	mat.ScaleInPlace(grad, invB)
+	return loss * invB, grad
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD and returns the mean loss.
+func (n *Network) TrainEpoch(x *mat.Dense, y []int, lr float64, batch int, rng *rand.Rand) (float64, error) {
+	if x.Rows != len(y) {
+		return 0, fmt.Errorf("eddl: %d rows vs %d labels", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return 0, errors.New("eddl: empty training set")
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	order := rng.Perm(x.Rows)
+	var total float64
+	batches := 0
+	for at := 0; at < len(order); at += batch {
+		end := at + batch
+		if end > len(order) {
+			end = len(order)
+		}
+		idx := order[at:end]
+		bx := mat.TakeRows(x, idx)
+		by := make([]int, len(idx))
+		for i, r := range idx {
+			by[i] = y[r]
+		}
+		for _, l := range n.Layers {
+			for _, p := range l.Params() {
+				for i := range p.Grad.Data {
+					p.Grad.Data[i] = 0
+				}
+			}
+		}
+		logits := n.Forward(bx)
+		loss, grad := softmaxCE(logits, by)
+		for i := len(n.Layers) - 1; i >= 0; i-- {
+			grad = n.Layers[i].Backward(grad)
+		}
+		for _, l := range n.Layers {
+			for _, p := range l.Params() {
+				for i, g := range p.Grad.Data {
+					p.W.Data[i] -= lr * g
+				}
+			}
+		}
+		total += loss
+		batches++
+	}
+	return total / float64(batches), nil
+}
+
+// Predict returns the argmax class per row.
+func (n *Network) Predict(x *mat.Dense) []int {
+	logits := n.Forward(x)
+	out := make([]int, x.Rows)
+	for bi := 0; bi < x.Rows; bi++ {
+		row := logits.Row(bi)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[bi] = best
+	}
+	return out
+}
+
+// FwdFlopsPerSample sums the stack's forward cost, the basis of the
+// GPU-time model.
+func (n *Network) FwdFlopsPerSample() float64 {
+	var f float64
+	for _, l := range n.Layers {
+		f += l.FwdFlops()
+	}
+	return f
+}
+
+// Weights returns deep copies of all parameter tensors in layer order.
+func (n *Network) Weights() []*mat.Dense {
+	var out []*mat.Dense
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			out = append(out, p.W.Clone())
+		}
+	}
+	return out
+}
+
+// SetWeights installs parameter tensors previously obtained from Weights.
+func (n *Network) SetWeights(ws []*mat.Dense) error {
+	i := 0
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			if i >= len(ws) {
+				return errors.New("eddl: too few weight tensors")
+			}
+			if ws[i].Rows != p.W.Rows || ws[i].Cols != p.W.Cols {
+				return fmt.Errorf("eddl: weight %d shape %dx%d, want %dx%d", i, ws[i].Rows, ws[i].Cols, p.W.Rows, p.W.Cols)
+			}
+			copy(p.W.Data, ws[i].Data)
+			i++
+		}
+	}
+	if i != len(ws) {
+		return errors.New("eddl: too many weight tensors")
+	}
+	return nil
+}
+
+// WeightBytes is the serialized parameter size, used by the GPU
+// communication model.
+func (n *Network) WeightBytes() int64 {
+	var b int64
+	for _, l := range n.Layers {
+		for _, p := range l.Params() {
+			b += int64(len(p.W.Data) * 8)
+		}
+	}
+	return b
+}
+
+// MergeWeights averages several weight lists — the per-epoch merge of the
+// paper's data-parallel scheme ("the weights of the neural network in each
+// worker are retrieved and they are merged and used in the next epoch").
+func MergeWeights(sets [][]*mat.Dense) ([]*mat.Dense, error) {
+	if len(sets) == 0 {
+		return nil, errors.New("eddl: no weight sets to merge")
+	}
+	out := make([]*mat.Dense, len(sets[0]))
+	for i := range out {
+		out[i] = sets[0][i].Clone()
+	}
+	for _, set := range sets[1:] {
+		if len(set) != len(out) {
+			return nil, errors.New("eddl: weight set arity mismatch")
+		}
+		for i, w := range set {
+			if w.Rows != out[i].Rows || w.Cols != out[i].Cols {
+				return nil, fmt.Errorf("eddl: weight %d shape mismatch", i)
+			}
+			mat.AddInPlace(out[i], w)
+		}
+	}
+	inv := 1 / float64(len(sets))
+	for _, w := range out {
+		mat.ScaleInPlace(w, inv)
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+// Package edge implements the inference half of the paper's Figure 1: the
+// trained AF-detection model "is then deployed and used for inference at
+// the edge" — a wearable device classifies the incoming ECG stream in
+// sliding windows and raises an alarm when an AF episode is detected. The
+// paper leaves this part as future work; this package builds it as a
+// streaming monitor with debounced alarms and detection-latency
+// measurement on synthetic paroxysmal episodes.
+package edge
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier labels one analysis window's feature vector (the label values
+// are the application's, e.g. core.LabelAF / core.LabelNormal).
+type Classifier interface {
+	Classify(features []float64) (int, error)
+}
+
+// ClassifierFunc adapts a plain function to the Classifier interface.
+type ClassifierFunc func(features []float64) (int, error)
+
+// Classify implements Classifier.
+func (f ClassifierFunc) Classify(features []float64) (int, error) { return f(features) }
+
+// Featurizer converts a raw signal window into the classifier's feature
+// vector (e.g. the zero-pad + STFT + PCA-projection pipeline).
+type Featurizer func(window []float64, fs float64) ([]float64, error)
+
+// Config parameterises the monitor.
+type Config struct {
+	// Fs is the stream's sampling rate in Hz.
+	Fs float64
+	// WindowSec is the analysis window length. Default 10 s.
+	WindowSec float64
+	// StrideSec is the hop between consecutive windows. Default 2 s.
+	StrideSec float64
+	// AlarmAfter is the number of consecutive positive windows required to
+	// raise the alarm (debouncing transient misclassifications). Default 2.
+	AlarmAfter int
+	// PositiveLabel is the label treated as an AF detection. Default 0
+	// (core.LabelAF).
+	PositiveLabel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSec == 0 {
+		c.WindowSec = 10
+	}
+	if c.StrideSec == 0 {
+		c.StrideSec = 2
+	}
+	if c.AlarmAfter == 0 {
+		c.AlarmAfter = 2
+	}
+	return c
+}
+
+// Event is one classified window.
+type Event struct {
+	// TimeSec is the window's end time in the stream.
+	TimeSec float64
+	// Label is the classifier's output.
+	Label int
+	// Alarm is true on the event that crosses the debounce threshold.
+	Alarm bool
+}
+
+// Monitor consumes a sample stream incrementally and classifies sliding
+// windows. It is a plain state machine (no goroutines): push samples, get
+// events.
+type Monitor struct {
+	cfg         Config
+	classify    Classifier
+	featurize   Featurizer
+	buf         []float64
+	consumed    int // samples dropped from the front of buf
+	winLen      int
+	stride      int
+	consecPos   int
+	alarmRaised bool
+}
+
+// NewMonitor builds a streaming monitor.
+func NewMonitor(cfg Config, featurize Featurizer, classify Classifier) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Fs <= 0 {
+		return nil, errors.New("edge: Fs must be positive")
+	}
+	if cfg.StrideSec <= 0 || cfg.WindowSec <= 0 || cfg.StrideSec > cfg.WindowSec {
+		return nil, fmt.Errorf("edge: invalid window %gs / stride %gs", cfg.WindowSec, cfg.StrideSec)
+	}
+	if featurize == nil || classify == nil {
+		return nil, errors.New("edge: featurizer and classifier are required")
+	}
+	return &Monitor{
+		cfg:       cfg,
+		classify:  classify,
+		featurize: featurize,
+		winLen:    int(cfg.WindowSec * cfg.Fs),
+		stride:    int(cfg.StrideSec * cfg.Fs),
+	}, nil
+}
+
+// AlarmRaised reports whether the alarm has fired.
+func (m *Monitor) AlarmRaised() bool { return m.alarmRaised }
+
+// Reset clears the alarm and debounce state (the stream position is kept).
+func (m *Monitor) Reset() {
+	m.consecPos = 0
+	m.alarmRaised = false
+}
+
+// Push appends samples to the stream and returns the events of every
+// analysis window completed by them. Splitting the same stream into
+// different Push chunk sizes yields identical events.
+func (m *Monitor) Push(samples ...float64) ([]Event, error) {
+	m.buf = append(m.buf, samples...)
+	var events []Event
+	for len(m.buf) >= m.winLen {
+		window := m.buf[:m.winLen]
+		feats, err := m.featurize(window, m.cfg.Fs)
+		if err != nil {
+			return events, fmt.Errorf("edge: featurize: %w", err)
+		}
+		label, err := m.classify.Classify(feats)
+		if err != nil {
+			return events, fmt.Errorf("edge: classify: %w", err)
+		}
+		end := float64(m.consumed+m.winLen) / m.cfg.Fs
+		ev := Event{TimeSec: end, Label: label}
+		if label == m.cfg.PositiveLabel {
+			m.consecPos++
+			if m.consecPos >= m.cfg.AlarmAfter && !m.alarmRaised {
+				m.alarmRaised = true
+				ev.Alarm = true
+			}
+		} else {
+			m.consecPos = 0
+		}
+		events = append(events, ev)
+		m.buf = m.buf[m.stride:]
+		m.consumed += m.stride
+	}
+	return events, nil
+}
+
+// Run processes a whole recording at once and returns all events plus the
+// alarm time (-1 when no alarm fired).
+func Run(cfg Config, featurize Featurizer, classify Classifier, signal []float64) ([]Event, float64, error) {
+	m, err := NewMonitor(cfg, featurize, classify)
+	if err != nil {
+		return nil, -1, err
+	}
+	events, err := m.Push(signal...)
+	if err != nil {
+		return events, -1, err
+	}
+	alarm := -1.0
+	for _, e := range events {
+		if e.Alarm {
+			alarm = e.TimeSec
+			break
+		}
+	}
+	return events, alarm, nil
+}
+
+// DetectionLatency returns the delay between an episode onset and the
+// alarm, or -1 when the alarm never fired (a missed episode).
+func DetectionLatency(alarmTimeSec, onsetSec float64) float64 {
+	if alarmTimeSec < 0 {
+		return -1
+	}
+	return alarmTimeSec - onsetSec
+}

@@ -1,0 +1,367 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"taskml/internal/compss"
+	"taskml/internal/dsarray"
+	"taskml/internal/mat"
+)
+
+func newRT() *compss.Runtime { return compss.New(compss.Config{Workers: 4}) }
+
+func blobs(rng *rand.Rand, n, d int, sep float64) (*mat.Dense, []int) {
+	x := mat.New(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		off := -sep / 2
+		if c == 1 {
+			off = sep / 2
+		}
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64()+off)
+		}
+	}
+	return x, y
+}
+
+func xorData(rng *rand.Rand, n int) (*mat.Dense, []int) {
+	x := mat.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if (a > 0) != (b > 0) {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestBuildTreeSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := blobs(rng, 200, 3, 5)
+	tree := BuildTree(x, y, nil, 2, TreeParams{}, rng)
+	if err := tree.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < x.Rows; i++ {
+		if tree.PredictLabel(x.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(x.Rows); acc < 0.97 {
+		t.Fatalf("tree training accuracy %v", acc)
+	}
+}
+
+func TestBuildTreeHandlesXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := xorData(rng, 300)
+	tree := BuildTree(x, y, nil, 2, TreeParams{MaxFeatures: 2}, rng)
+	correct := 0
+	for i := 0; i < x.Rows; i++ {
+		if tree.PredictLabel(x.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(x.Rows); acc < 0.9 {
+		t.Fatalf("tree accuracy %v on XOR (axis-aligned splits should handle it)", acc)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := xorData(rng, 300)
+	tree := BuildTree(x, y, nil, 2, TreeParams{MaxDepth: 3}, rng)
+	if d := tree.Depth(); d > 4 { // depth counts nodes, MaxDepth counts splits
+		t.Fatalf("tree depth %d with MaxDepth 3", d)
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}, {2}})
+	y := []int{1, 1, 1}
+	tree := BuildTree(x, y, nil, 2, TreeParams{}, rand.New(rand.NewSource(4)))
+	if !tree.Leaf {
+		t.Fatal("pure training set must yield a single leaf")
+	}
+	if tree.Probs[1] != 1 {
+		t.Fatalf("leaf probs = %v", tree.Probs)
+	}
+}
+
+func TestBestSplitKnownThreshold(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{0}, {1}, {10}, {11}})
+	y := []int{0, 0, 1, 1}
+	sp := BestSplit(x, y, []int{0, 1, 2, 3}, 2, TreeParams{MaxFeatures: 1}, rand.New(rand.NewSource(5)))
+	if !sp.Found {
+		t.Fatal("split not found")
+	}
+	if sp.Threshold < 1 || sp.Threshold > 10 {
+		t.Fatalf("threshold %v outside (1, 10)", sp.Threshold)
+	}
+	if len(sp.Left) != 2 || len(sp.Right) != 2 {
+		t.Fatalf("partition %d/%d", len(sp.Left), len(sp.Right))
+	}
+}
+
+func TestBestSplitNoGain(t *testing.T) {
+	// Identical feature values: no split possible.
+	x := mat.NewFromRows([][]float64{{5}, {5}, {5}, {5}})
+	y := []int{0, 1, 0, 1}
+	sp := BestSplit(x, y, []int{0, 1, 2, 3}, 2, TreeParams{}, rand.New(rand.NewSource(6)))
+	if sp.Found {
+		t.Fatal("split found on constant feature")
+	}
+}
+
+// Property: every tree built on random data is structurally valid and
+// partitions are consistent.
+func TestTreeStructureProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		d := 1 + rng.Intn(5)
+		x := mat.New(n, d)
+		y := make([]int, n)
+		for i := 0; i < n; i++ {
+			y[i] = rng.Intn(3)
+			for j := 0; j < d; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tree := BuildTree(x, y, nil, 3, TreeParams{MaxDepth: 6}, rng)
+		if tree.Validate(3) != nil {
+			return false
+		}
+		// Every prediction must be a valid class.
+		for i := 0; i < n; i++ {
+			l := tree.PredictLabel(x.Row(i))
+			if l < 0 || l > 2 {
+				return false
+			}
+		}
+		return tree.Depth() <= 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomForestAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := blobs(rng, 300, 4, 3)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 75, 4)
+	ya := dsarray.FromLabels(rt.Main(), y, 75)
+	f := &RandomForest{Params: Params{NEstimators: 12, Seed: 7}}
+	if err := f.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := f.Score(xa, ya)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.93 {
+		t.Fatalf("forest accuracy %v", acc)
+	}
+}
+
+func TestRandomForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xTr, yTr := blobs(rng, 300, 6, 1.6)
+	xTe, yTe := blobs(rng, 300, 6, 1.6)
+
+	evalForest := func(nEst int) float64 {
+		rt := newRT()
+		xa := dsarray.FromMatrix(rt.Main(), xTr, 100, 6)
+		ya := dsarray.FromLabels(rt.Main(), yTr, 100)
+		f := &RandomForest{Params: Params{NEstimators: nEst, Seed: 8, Tree: TreeParams{MaxDepth: 10}}}
+		if err := f.Fit(xa, ya); err != nil {
+			t.Fatal(err)
+		}
+		xq := dsarray.FromMatrix(rt.Main(), xTe, 100, 6)
+		yq := dsarray.FromLabels(rt.Main(), yTe, 100)
+		acc, err := f.Score(xq, yq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	one := evalForest(1)
+	many := evalForest(30)
+	if many < one-0.02 {
+		t.Fatalf("30-tree forest (%v) worse than single tree (%v)", many, one)
+	}
+}
+
+func TestForestGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := blobs(rng, 80, 3, 3)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 20, 3)
+	ya := dsarray.FromLabels(rt.Main(), y, 20)
+	f := &RandomForest{Params: Params{NEstimators: 4, DistrDepth: 2, Seed: 9}}
+	if err := f.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	counts := rt.Graph().CountByName()
+	// Per estimator: 2^0 + 2^1 = 3 split tasks, 2^2 = 4 subtree tasks,
+	// 3 join tasks, 1 bootstrap.
+	if counts["rf_split"] != 4*3 {
+		t.Fatalf("rf_split = %d, want 12", counts["rf_split"])
+	}
+	if counts["rf_subtree"] != 4*4 {
+		t.Fatalf("rf_subtree = %d, want 16", counts["rf_subtree"])
+	}
+	if counts["rf_join"] != 4*3 {
+		t.Fatalf("rf_join = %d, want 12", counts["rf_join"])
+	}
+	if counts["rf_bootstrap"] != 4 || counts["rf_gather"] != 1 {
+		t.Fatalf("bootstrap/gather counts: %v", counts)
+	}
+	// The task count must not depend on blocking: refit with different
+	// blocks and compare.
+	rt2 := newRT()
+	xa2 := dsarray.FromMatrix(rt2.Main(), x, 10, 3)
+	ya2 := dsarray.FromLabels(rt2.Main(), y, 10)
+	f2 := &RandomForest{Params: Params{NEstimators: 4, DistrDepth: 2, Seed: 9}}
+	if err := f2.Fit(xa2, ya2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := rt2.Graph().CountByName()
+	for _, name := range []string{"rf_split", "rf_subtree", "rf_join", "rf_bootstrap"} {
+		if c2[name] != counts[name] {
+			t.Fatalf("%s count depends on block size: %d vs %d", name, c2[name], counts[name])
+		}
+	}
+}
+
+func TestForestDistrDepthEquivalence(t *testing.T) {
+	// distr_depth changes the task structure, not the model family:
+	// accuracies should be in the same ballpark.
+	rng := rand.New(rand.NewSource(10))
+	x, y := blobs(rng, 200, 4, 3)
+	accs := map[int]float64{}
+	for _, dd := range []int{1, 2, 3} {
+		rt := newRT()
+		xa := dsarray.FromMatrix(rt.Main(), x, 50, 4)
+		ya := dsarray.FromLabels(rt.Main(), y, 50)
+		f := &RandomForest{Params: Params{NEstimators: 8, DistrDepth: dd, Seed: 10}}
+		if err := f.Fit(xa, ya); err != nil {
+			t.Fatal(err)
+		}
+		acc, err := f.Score(xa, ya)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[dd] = acc
+	}
+	for dd, acc := range accs {
+		if acc < 0.9 {
+			t.Fatalf("distr_depth %d accuracy %v", dd, acc)
+		}
+	}
+}
+
+func TestForestTreesExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := blobs(rng, 100, 3, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 25, 3)
+	ya := dsarray.FromLabels(rt.Main(), y, 25)
+	f := &RandomForest{Params: Params{NEstimators: 5, Seed: 11}}
+	if err := f.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	trees, err := f.Trees(rt.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 5 {
+		t.Fatalf("%d trees", len(trees))
+	}
+	for i, tr := range trees {
+		if err := tr.Validate(2); err != nil {
+			t.Fatalf("tree %d: %v", i, err)
+		}
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	rt := newRT()
+	x := dsarray.FromMatrix(rt.Main(), mat.New(10, 2), 5, 2)
+	yShort := dsarray.FromLabels(rt.Main(), make([]int, 8), 5)
+	f := &RandomForest{}
+	if err := f.Fit(x, yShort); err == nil {
+		t.Fatal("want mismatch error")
+	}
+	if _, err := f.Predict(x); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	deep := &RandomForest{Params: Params{DistrDepth: 20}}
+	yGood := dsarray.FromLabels(rt.Main(), make([]int, 10), 5)
+	if err := deep.Fit(x, yGood); err == nil {
+		t.Fatal("want DistrDepth >= MaxDepth error")
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x, y := blobs(rng, 120, 3, 2)
+	run := func() []int {
+		rt := newRT()
+		xa := dsarray.FromMatrix(rt.Main(), x, 30, 3)
+		ya := dsarray.FromLabels(rt.Main(), y, 30)
+		f := &RandomForest{Params: Params{NEstimators: 6, Seed: 99}}
+		if err := f.Fit(xa, ya); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := f.Predict(xa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := dsarray.CollectLabels(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x, y := blobs(rng, 400, 8, 2)
+	for i := 0; i < b.N; i++ {
+		rt := newRT()
+		xa := dsarray.FromMatrix(rt.Main(), x, 100, 8)
+		ya := dsarray.FromLabels(rt.Main(), y, 100)
+		f := &RandomForest{Params: Params{NEstimators: 10, Seed: 13}}
+		if err := f.Fit(xa, ya); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Barrier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

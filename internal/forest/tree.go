@@ -1,0 +1,279 @@
+// Package forest implements the RandomForest estimator of the paper's
+// §III-C.3: an ensemble of CART decision trees whose final prediction
+// averages the per-tree class probability distributions (Figure 7), with
+// the dislib parallelisation scheme — "its parallelism is based on the
+// number of estimators and the parameter distr_depth (limit of the depth of
+// the tree where the decisions are no longer computed in parallel)".
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"taskml/internal/mat"
+)
+
+// TreeParams configures a single CART tree.
+type TreeParams struct {
+	// MaxDepth bounds the tree. Default 16.
+	MaxDepth int
+	// MinSamplesSplit is the smallest node that may split. Default 2.
+	MinSamplesSplit int
+	// MaxFeatures is the number of features sampled per split; 0 selects
+	// √d, the random-forest default.
+	MaxFeatures int
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 16
+	}
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	return p
+}
+
+// Node is one node of a decision tree. Leaves carry the class probability
+// distribution of their training samples — "the leaves of the decision
+// trees are the probability distribution of those samples that fulfill the
+// conditions required by all the nodes in the path".
+type Node struct {
+	// Leaf marks terminal nodes.
+	Leaf bool
+	// Probs is the class distribution at a leaf.
+	Probs []float64
+	// Feature and Threshold define the split: x[Feature] <= Threshold goes
+	// left.
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+}
+
+// Depth returns the tree height below (and including) n.
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// CountNodes returns the number of nodes in the subtree.
+func (n *Node) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + n.Left.CountNodes() + n.Right.CountNodes()
+}
+
+// leafNode builds a leaf from the label histogram of idx.
+func leafNode(y []int, idx []int, nClasses int) *Node {
+	probs := make([]float64, nClasses)
+	for _, i := range idx {
+		probs[y[i]]++
+	}
+	if len(idx) > 0 {
+		inv := 1 / float64(len(idx))
+		for c := range probs {
+			probs[c] *= inv
+		}
+	}
+	return &Node{Leaf: true, Probs: probs}
+}
+
+// giniOf computes the Gini impurity of a label histogram.
+func giniOf(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / total
+		g -= p * p
+	}
+	return g
+}
+
+// Split is the outcome of a single best-split search.
+type Split struct {
+	// Found is false when no impurity-reducing split exists.
+	Found     bool
+	Feature   int
+	Threshold float64
+	Left      []int
+	Right     []int
+}
+
+// BestSplit searches the Gini-optimal binary split of the samples idx,
+// scanning MaxFeatures randomly sampled features.
+func BestSplit(x *mat.Dense, y []int, idx []int, nClasses int, p TreeParams, rng *rand.Rand) Split {
+	p = p.withDefaults()
+	nFeat := p.MaxFeatures
+	if nFeat <= 0 {
+		nFeat = int(math.Sqrt(float64(x.Cols)))
+		if nFeat < 1 {
+			nFeat = 1
+		}
+	}
+	if nFeat > x.Cols {
+		nFeat = x.Cols
+	}
+	feats := rng.Perm(x.Cols)[:nFeat]
+
+	total := float64(len(idx))
+	parentCounts := make([]float64, nClasses)
+	for _, i := range idx {
+		parentCounts[y[i]]++
+	}
+	parentGini := giniOf(parentCounts, total)
+	if parentGini == 0 {
+		return Split{}
+	}
+
+	type pair struct {
+		v float64
+		y int
+		i int
+	}
+	best := Split{}
+	bestScore := parentGini - 1e-12
+
+	vals := make([]pair, len(idx))
+	leftCounts := make([]float64, nClasses)
+	for _, f := range feats {
+		for k, i := range idx {
+			vals[k] = pair{v: x.At(i, f), y: y[i], i: i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		for k := 0; k < len(vals)-1; k++ {
+			leftCounts[vals[k].y]++
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := total - nl
+			rightCounts := make([]float64, nClasses)
+			for c := range rightCounts {
+				rightCounts[c] = parentCounts[c] - leftCounts[c]
+			}
+			score := (nl*giniOf(leftCounts, nl) + nr*giniOf(rightCounts, nr)) / total
+			if score < bestScore {
+				bestScore = score
+				best.Found = true
+				best.Feature = f
+				best.Threshold = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if !best.Found {
+		return best
+	}
+	for _, i := range idx {
+		if x.At(i, best.Feature) <= best.Threshold {
+			best.Left = append(best.Left, i)
+		} else {
+			best.Right = append(best.Right, i)
+		}
+	}
+	return best
+}
+
+// BuildTree grows a CART tree on the samples idx (nil means all rows).
+func BuildTree(x *mat.Dense, y []int, idx []int, nClasses int, p TreeParams, rng *rand.Rand) *Node {
+	p = p.withDefaults()
+	if idx == nil {
+		idx = make([]int, x.Rows)
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	return buildRec(x, y, idx, nClasses, p, rng, 0)
+}
+
+func buildRec(x *mat.Dense, y []int, idx []int, nClasses int, p TreeParams, rng *rand.Rand, depth int) *Node {
+	if depth >= p.MaxDepth || len(idx) < p.MinSamplesSplit {
+		return leafNode(y, idx, nClasses)
+	}
+	sp := BestSplit(x, y, idx, nClasses, p, rng)
+	if !sp.Found || len(sp.Left) == 0 || len(sp.Right) == 0 {
+		return leafNode(y, idx, nClasses)
+	}
+	return &Node{
+		Feature:   sp.Feature,
+		Threshold: sp.Threshold,
+		Left:      buildRec(x, y, sp.Left, nClasses, p, rng, depth+1),
+		Right:     buildRec(x, y, sp.Right, nClasses, p, rng, depth+1),
+	}
+}
+
+// PredictProbs walks one sample down the tree to its leaf distribution.
+func (n *Node) PredictProbs(row []float64) []float64 {
+	cur := n
+	for !cur.Leaf {
+		if row[cur.Feature] <= cur.Threshold {
+			cur = cur.Left
+		} else {
+			cur = cur.Right
+		}
+	}
+	return cur.Probs
+}
+
+// PredictLabel returns the argmax class of the sample's leaf.
+func (n *Node) PredictLabel(row []float64) int {
+	probs := n.PredictProbs(row)
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Validate checks structural invariants of the tree (used by property
+// tests): internal nodes have two children, leaf distributions sum to ~1.
+func (n *Node) Validate(nClasses int) error {
+	if n == nil {
+		return fmt.Errorf("forest: nil node")
+	}
+	if n.Leaf {
+		if len(n.Probs) != nClasses {
+			return fmt.Errorf("forest: leaf has %d probs, want %d", len(n.Probs), nClasses)
+		}
+		var s float64
+		for _, p := range n.Probs {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("forest: leaf prob %v outside [0,1]", p)
+			}
+			s += p
+		}
+		if s != 0 && math.Abs(s-1) > 1e-9 {
+			return fmt.Errorf("forest: leaf probs sum to %v", s)
+		}
+		return nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("forest: internal node missing children")
+	}
+	if err := n.Left.Validate(nClasses); err != nil {
+		return err
+	}
+	return n.Right.Validate(nClasses)
+}

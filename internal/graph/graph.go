@@ -1,0 +1,327 @@
+// Package graph holds the task dependency graph captured while a workflow
+// executes on the internal/compss runtime.
+//
+// The graph is the bridge between the programming model and the performance
+// model: internal/compss appends one node per submitted task (in program
+// order, with data dependencies, nesting parentage and resource demands) and
+// internal/cluster replays the captured graph against a virtual cluster
+// description to obtain the schedule the paper's figures are derived from.
+// A single captured graph can be replayed on any number of cluster
+// configurations, which is how the core-count sweeps of Figures 11a-c and 12
+// are produced from one workflow run.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Dep is a dependency on the output of another task.
+type Dep struct {
+	// Task is the ID of the producing task.
+	Task int
+	// ViaMaster marks dependencies introduced by a synchronisation in the
+	// submitting program (a Future.Get followed by later submissions). The
+	// data makes an extra hop through the master process, which the
+	// scheduler charges as an additional transfer.
+	ViaMaster bool
+	// OrderOnly marks synchronisation-ordering dependencies that carry no
+	// data of their own: the consumer merely cannot start before the
+	// producer's value reached the master. The scheduler delays the
+	// consumer by the producer→master hop but moves no bytes (the value
+	// travelled once; ordering does not re-send it).
+	OrderOnly bool
+}
+
+// Task is one node of the captured graph.
+type Task struct {
+	// ID is the submission order, unique and monotonically increasing.
+	ID int
+	// Name groups tasks of the same kind (e.g. "svc_fit", "merge_sv"); the
+	// DOT export colors nodes by Name like the PyCOMPSs graphs in the paper.
+	Name string
+	// Parent is the ID of the task whose body submitted this task (nesting),
+	// or -1 for tasks submitted by the main program.
+	Parent int
+	// Deps lists data dependencies.
+	Deps []Dep
+	// Cost is the task's virtual duration in seconds on a reference core
+	// (or reference GPU when GPUs > 0).
+	Cost float64
+	// Cores and GPUs are the resource demand. Cores defaults to 1 for
+	// compute tasks; a GPU task may also pin cores.
+	Cores, GPUs int
+	// OutBytes is the size of the task's output, used for transfer costs.
+	OutBytes int64
+}
+
+// Graph is an append-only record of submitted tasks. It is safe for
+// concurrent use: nested tasks submit from worker goroutines.
+type Graph struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Add appends a task and returns its assigned ID.
+func (g *Graph) Add(t Task) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t.ID = len(g.tasks)
+	g.tasks = append(g.tasks, t)
+	return t.ID
+}
+
+// Len returns the number of captured tasks.
+func (g *Graph) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.tasks)
+}
+
+// Tasks returns a snapshot copy of the captured tasks in submission order.
+func (g *Graph) Tasks() []Task {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Task, len(g.tasks))
+	copy(out, g.tasks)
+	return out
+}
+
+// Task returns the captured task with the given ID.
+func (g *Graph) Task(id int) (Task, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.tasks) {
+		return Task{}, false
+	}
+	return g.tasks[id], true
+}
+
+// Validate checks structural invariants: dependency and parent IDs must
+// reference earlier tasks (the graph is a DAG by construction of submission
+// order) and resource demands must be positive.
+func (g *Graph) Validate() error {
+	for _, t := range g.Tasks() {
+		if t.Parent >= t.ID {
+			return fmt.Errorf("graph: task %d has parent %d not submitted before it", t.ID, t.Parent)
+		}
+		for _, d := range t.Deps {
+			if d.Task < 0 || d.Task >= t.ID {
+				return fmt.Errorf("graph: task %d depends on %d, not submitted before it", t.ID, d.Task)
+			}
+		}
+		if t.Cores < 0 || t.GPUs < 0 {
+			return fmt.Errorf("graph: task %d has negative resource demand", t.ID)
+		}
+		if t.Cores == 0 && t.GPUs == 0 {
+			return fmt.Errorf("graph: task %d demands no resources", t.ID)
+		}
+		if t.Cost < 0 {
+			return fmt.Errorf("graph: task %d has negative cost", t.ID)
+		}
+	}
+	return nil
+}
+
+// CriticalPath returns the length, in cost-seconds, of the longest
+// dependency chain, ignoring resource limits and transfers. No schedule on
+// any finite cluster can beat it; internal/cluster tests assert
+// makespan >= CriticalPath.
+//
+// Nesting is honoured: a child cannot start before its parent starts, and a
+// parent does not complete (for its dependents) until all descendants do.
+func (g *Graph) CriticalPath() float64 {
+	tasks := g.Tasks()
+	n := len(tasks)
+	children := make([][]int, n)
+	for _, t := range tasks {
+		if t.Parent >= 0 {
+			children[t.Parent] = append(children[t.Parent], t.ID)
+		}
+	}
+	// start(t) = max(start(parent), fin(dep)...)
+	// fin(t)   = max(start(t)+cost, fin(child)...)
+	// The mutual recursion is acyclic because the runtime cannot create a
+	// task that depends on the future of one of its own ancestors; memoise
+	// both quantities.
+	start := make([]float64, n)
+	fin := make([]float64, n)
+	haveStart := make([]bool, n)
+	haveFin := make([]bool, n)
+	var startOf, finOf func(i int) float64
+	startOf = func(i int) float64 {
+		if haveStart[i] {
+			return start[i]
+		}
+		haveStart[i] = true // pre-mark: defensive against malformed cycles
+		t := tasks[i]
+		s := 0.0
+		if t.Parent >= 0 {
+			s = startOf(t.Parent)
+		}
+		for _, d := range t.Deps {
+			if f := finOf(d.Task); f > s {
+				s = f
+			}
+		}
+		start[i] = s
+		return s
+	}
+	finOf = func(i int) float64 {
+		if haveFin[i] {
+			return fin[i]
+		}
+		haveFin[i] = true
+		f := startOf(i) + tasks[i].Cost
+		for _, c := range children[i] {
+			if cf := finOf(c); cf > f {
+				f = cf
+			}
+		}
+		fin[i] = f
+		return f
+	}
+	var cp float64
+	for i := range tasks {
+		if f := finOf(i); f > cp {
+			cp = f
+		}
+	}
+	return cp
+}
+
+// TotalCost returns the sum of all task costs (the sequential work).
+func (g *Graph) TotalCost() float64 {
+	var s float64
+	for _, t := range g.Tasks() {
+		s += t.Cost
+	}
+	return s
+}
+
+// MaxWidth returns an upper bound on usable parallelism: the maximum number
+// of tasks whose dependency depth is equal (levels of the DAG).
+func (g *Graph) MaxWidth() int {
+	tasks := g.Tasks()
+	depth := make([]int, len(tasks))
+	counts := map[int]int{}
+	width := 0
+	for i, t := range tasks {
+		d := 0
+		if t.Parent >= 0 && depth[t.Parent]+1 > d {
+			d = depth[t.Parent] + 1
+		}
+		for _, dep := range t.Deps {
+			if depth[dep.Task]+1 > d {
+				d = depth[dep.Task] + 1
+			}
+		}
+		depth[i] = d
+		counts[d]++
+		if counts[d] > width {
+			width = counts[d]
+		}
+	}
+	return width
+}
+
+// dotPalette mirrors the multi-color task circles of the paper's PyCOMPSs
+// execution graphs (Figures 4, 6, 8, 9, 10): each task name gets a stable
+// color.
+var dotPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// DOT renders the captured graph in Graphviz format, one node per task,
+// colored by task name, with nested tasks grouped in subgraph clusters —
+// the same visual structure as the execution graphs in the paper.
+func (g *Graph) DOT(title string) string {
+	tasks := g.Tasks()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [style=filled, shape=circle, fontsize=9];\n")
+
+	colorOf := map[string]string{}
+	var names []string
+	for _, t := range tasks {
+		if _, ok := colorOf[t.Name]; !ok {
+			colorOf[t.Name] = dotPalette[len(colorOf)%len(dotPalette)]
+			names = append(names, t.Name)
+		}
+	}
+
+	children := map[int][]int{}
+	var top []int
+	for _, t := range tasks {
+		if t.Parent >= 0 {
+			children[t.Parent] = append(children[t.Parent], t.ID)
+		} else {
+			top = append(top, t.ID)
+		}
+	}
+
+	var emit func(indent string, ids []int)
+	emit = func(indent string, ids []int) {
+		for _, id := range ids {
+			t := tasks[id]
+			fmt.Fprintf(&b, "%st%d [label=%q, fillcolor=%q];\n", indent, id, fmt.Sprintf("%d", id), colorOf[t.Name])
+			if kids := children[id]; len(kids) > 0 {
+				fmt.Fprintf(&b, "%ssubgraph cluster_t%d {\n%s  label=%q; style=dashed;\n", indent, id, indent, t.Name)
+				emit(indent+"  ", kids)
+				fmt.Fprintf(&b, "%s}\n", indent)
+			}
+		}
+	}
+	emit("  ", top)
+	for _, t := range tasks {
+		for _, d := range t.Deps {
+			style := ""
+			if d.ViaMaster {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d%s;\n", d.Task, t.ID, style)
+		}
+	}
+	// Legend.
+	b.WriteString("  subgraph cluster_legend {\n    label=\"tasks\"; style=solid;\n")
+	sort.Strings(names)
+	for i, n := range names {
+		fmt.Fprintf(&b, "    legend%d [label=%q, shape=box, fillcolor=%q];\n", i, n, colorOf[n])
+	}
+	b.WriteString("  }\n}\n")
+	return b.String()
+}
+
+// Scaled returns a copy of the graph with every task's cost multiplied by
+// costF and its output size by bytesF. The experiment harness uses it to
+// emulate paper-scale payloads: the captured graph's *structure* comes from
+// a laptop-scale run, while per-task work and data sizes are rescaled to
+// the ratios of the paper's dataset (EXPERIMENTS.md derives the factors).
+func (g *Graph) Scaled(costF, bytesF float64) *Graph {
+	out := New()
+	for _, t := range g.Tasks() {
+		t.Cost *= costF
+		t.OutBytes = int64(float64(t.OutBytes) * bytesF)
+		deps := make([]Dep, len(t.Deps))
+		copy(deps, t.Deps)
+		t.Deps = deps
+		out.Add(t)
+	}
+	return out
+}
+
+// CountByName returns how many tasks of each name the graph contains —
+// handy for asserting workflow shapes in tests ("one svc_fit per row block").
+func (g *Graph) CountByName() map[string]int {
+	out := map[string]int{}
+	for _, t := range g.Tasks() {
+		out[t.Name]++
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Provenance is a serializable record of one workflow execution, in the
+// spirit of the workflow-provenance artifacts the paper publishes on
+// WorkflowHub: the complete task graph plus free-form experiment metadata,
+// enough to re-derive every schedule and figure from the stored JSON.
+type Provenance struct {
+	// Workflow names the experiment (e.g. "csvm-fit").
+	Workflow string `json:"workflow"`
+	// CreatedAt stamps the export.
+	CreatedAt time.Time `json:"created_at"`
+	// Metadata carries experiment parameters and results (block sizes,
+	// accuracies, cluster names → makespans, ...).
+	Metadata map[string]string `json:"metadata,omitempty"`
+	// Tasks is the captured graph in submission order.
+	Tasks []Task `json:"tasks"`
+	// Summary statistics, precomputed for human readers.
+	TaskCount    int     `json:"task_count"`
+	TotalCost    float64 `json:"total_cost_sec"`
+	CriticalPath float64 `json:"critical_path_sec"`
+}
+
+// Export builds the provenance record for this graph.
+func (g *Graph) Export(workflow string, metadata map[string]string, now time.Time) Provenance {
+	return Provenance{
+		Workflow:     workflow,
+		CreatedAt:    now,
+		Metadata:     metadata,
+		Tasks:        g.Tasks(),
+		TaskCount:    g.Len(),
+		TotalCost:    g.TotalCost(),
+		CriticalPath: g.CriticalPath(),
+	}
+}
+
+// WriteJSON serializes the provenance record.
+func (p Provenance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadProvenance parses a provenance record and reconstructs its graph.
+func ReadProvenance(r io.Reader) (Provenance, *Graph, error) {
+	var p Provenance
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return Provenance{}, nil, fmt.Errorf("graph: decoding provenance: %w", err)
+	}
+	g := New()
+	for i, t := range p.Tasks {
+		if t.ID != i {
+			return Provenance{}, nil, fmt.Errorf("graph: provenance task %d has id %d (not submission-ordered)", i, t.ID)
+		}
+		g.Add(t)
+	}
+	if err := g.Validate(); err != nil {
+		return Provenance{}, nil, fmt.Errorf("graph: provenance graph invalid: %w", err)
+	}
+	return p, g, nil
+}

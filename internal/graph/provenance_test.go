@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	g := New()
+	a := g.Add(Task{Name: "load", Parent: -1, Cost: 1, Cores: 1, OutBytes: 64})
+	g.Add(Task{Name: "fit", Parent: -1, Cost: 5, Cores: 8,
+		Deps: []Dep{{Task: a, ViaMaster: true, OrderOnly: true}}})
+
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	p := g.Export("csvm-fit", map[string]string{"block_rows": "50"}, now)
+	if p.TaskCount != 2 || p.TotalCost != 6 || p.Workflow != "csvm-fit" {
+		t.Fatalf("export summary: %+v", p)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	js := buf.String()
+	for _, want := range []string{`"workflow": "csvm-fit"`, `"block_rows": "50"`, `"critical_path_sec"`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, js)
+		}
+	}
+
+	p2, g2, err := ReadProvenance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Workflow != "csvm-fit" || p2.Metadata["block_rows"] != "50" {
+		t.Fatalf("decoded provenance: %+v", p2)
+	}
+	if g2.Len() != 2 {
+		t.Fatalf("reconstructed graph has %d tasks", g2.Len())
+	}
+	t2, _ := g2.Task(1)
+	if len(t2.Deps) != 1 || !t2.Deps[0].ViaMaster || !t2.Deps[0].OrderOnly {
+		t.Fatalf("dep flags lost: %+v", t2.Deps)
+	}
+	if g2.CriticalPath() != g.CriticalPath() {
+		t.Fatal("reconstructed graph differs")
+	}
+}
+
+func TestReadProvenanceRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadProvenance(strings.NewReader("not json")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestReadProvenanceRejectsBadOrdering(t *testing.T) {
+	js := `{"workflow":"x","tasks":[{"ID":5,"Name":"t","Parent":-1,"Cost":1,"Cores":1}]}`
+	if _, _, err := ReadProvenance(strings.NewReader(js)); err == nil {
+		t.Fatal("want ordering error")
+	}
+}
+
+func TestReadProvenanceRejectsInvalidGraph(t *testing.T) {
+	js := `{"workflow":"x","tasks":[{"ID":0,"Name":"t","Parent":3,"Cost":1,"Cores":1}]}`
+	if _, _, err := ReadProvenance(strings.NewReader(js)); err == nil {
+		t.Fatal("want validation error")
+	}
+}

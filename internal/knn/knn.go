@@ -1,0 +1,285 @@
+// Package knn implements the k-nearest-neighbors estimator of the paper's
+// §III-C.2 on top of ds-arrays: "The fit function uses the NearestNeighbors
+// algorithm in dislib that has parallelism based on the number of row
+// blocks ... The predict also makes a task per block in the row axis of the
+// dataset."
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"taskml/internal/compss"
+	"taskml/internal/costs"
+	"taskml/internal/dsarray"
+	"taskml/internal/mat"
+)
+
+// Weighting selects how neighbor votes are combined, matching the method's
+// parameters in the paper: "'uniform' to have uniform weights ... or
+// 'distance' to weight points by the inverse of their distance", plus "a
+// user-defined function which accepts an array of distances, and returns an
+// array of the same shape containing the weights".
+type Weighting int
+
+const (
+	// Uniform weights every neighbor equally.
+	Uniform Weighting = iota
+	// Distance weights neighbors by inverse distance.
+	Distance
+	// Custom applies Params.WeightFn.
+	Custom
+)
+
+// Params configures the classifier.
+type Params struct {
+	// K is the number of neighbors checked per query. Default 5 (the
+	// paper's Figure 6 workflow).
+	K int
+	// Weights selects the vote weighting. Default Uniform.
+	Weights Weighting
+	// WeightFn maps a slice of distances to a same-length slice of weights;
+	// required when Weights is Custom.
+	WeightFn func(dists []float64) []float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.K == 0 {
+		p.K = 5
+	}
+	return p
+}
+
+// nnBlock is the fitted per-row-block structure: the stored samples, their
+// labels, and the block's global row offset (so neighbor indices are
+// dataset-global).
+type nnBlock struct {
+	x      *mat.Dense
+	labels []int
+	offset int
+}
+
+// ErrNotFitted is returned by queries before Fit.
+var ErrNotFitted = errors.New("knn: model is not fitted")
+
+// KNN is the distributed k-nearest-neighbors classifier.
+type KNN struct {
+	Params Params
+
+	fitted []*compss.Future // one *nnBlock per training row block
+	dims   int
+	nTrain int
+	brows  int
+}
+
+// Fit stores the training row blocks: one task per row block, exactly the
+// dislib structure ("launches a fit from the scikit-learn NN into each row
+// block").
+func (m *KNN) Fit(x, y *dsarray.Array) error {
+	if x.Rows() != y.Rows() {
+		return fmt.Errorf("knn: %d samples vs %d labels", x.Rows(), y.Rows())
+	}
+	if y.Cols() != 1 {
+		return fmt.Errorf("knn: labels must have 1 column, got %d", y.Cols())
+	}
+	if x.NumRowBlocks() != y.NumRowBlocks() {
+		return fmt.Errorf("knn: x has %d row blocks, y has %d", x.NumRowBlocks(), y.NumRowBlocks())
+	}
+	p := m.Params.withDefaults()
+	if p.Weights == Custom && p.WeightFn == nil {
+		return errors.New("knn: Custom weighting requires WeightFn")
+	}
+	tc := x.Ctx()
+	m.fitted = make([]*compss.Future, x.NumRowBlocks())
+	for i := range m.fitted {
+		offset := i * x.BlockRows()
+		rows := x.RowBlockRows(i)
+		m.fitted[i] = tc.Submit(compss.Opts{
+			Name:     "nn_fit",
+			Cost:     costs.KNNFit(rows, x.Cols()),
+			OutBytes: costs.Bytes(rows, x.Cols()+1),
+		}, func(_ *compss.TaskCtx, args []any) (any, error) {
+			blk := args[0].(*mat.Dense)
+			lbl := args[1].(*mat.Dense)
+			if blk.Rows != lbl.Rows {
+				return nil, fmt.Errorf("knn: block rows %d vs labels %d", blk.Rows, lbl.Rows)
+			}
+			return &nnBlock{x: blk, labels: dsarray.LabelsToInts(lbl), offset: offset}, nil
+		}, x.RowBlock(i), y.RowBlock(i))
+	}
+	m.dims = x.Cols()
+	m.nTrain = x.Rows()
+	m.brows = x.BlockRows()
+	return nil
+}
+
+// neighbor is one candidate (squared distance, global index, label).
+type neighbor struct {
+	d2    float64
+	idx   int
+	label int
+}
+
+// queryBlock scans every fitted block for the k nearest neighbors of each
+// row in q.
+func queryBlock(q *mat.Dense, fitted []*nnBlock, k int) [][]neighbor {
+	out := make([][]neighbor, q.Rows)
+	for r := 0; r < q.Rows; r++ {
+		row := q.Row(r)
+		var cand []neighbor
+		for _, fb := range fitted {
+			for i := 0; i < fb.x.Rows; i++ {
+				t := fb.x.Row(i)
+				var d2 float64
+				for c, v := range row {
+					diff := v - t[c]
+					d2 += diff * diff
+				}
+				cand = append(cand, neighbor{d2: d2, idx: fb.offset + i, label: fb.labels[i]})
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			if cand[a].d2 != cand[b].d2 {
+				return cand[a].d2 < cand[b].d2
+			}
+			return cand[a].idx < cand[b].idx
+		})
+		if len(cand) > k {
+			cand = cand[:k]
+		}
+		out[r] = cand
+	}
+	return out
+}
+
+// vote combines the neighbors of one query into a predicted label.
+func vote(nb []neighbor, p Params) int {
+	weights := make([]float64, len(nb))
+	switch p.Weights {
+	case Distance:
+		for i, n := range nb {
+			d := n.d2
+			if d <= 1e-18 {
+				// Exact match dominates, scikit-learn style.
+				return n.label
+			}
+			weights[i] = 1 / d
+		}
+	case Custom:
+		dists := make([]float64, len(nb))
+		for i, n := range nb {
+			dists[i] = n.d2
+		}
+		weights = p.WeightFn(dists)
+	default:
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	tally := map[int]float64{}
+	for i, n := range nb {
+		tally[n.label] += weights[i]
+	}
+	best, bestW := 0, -1.0
+	for label, w := range tally {
+		if w > bestW || (w == bestW && label < best) {
+			best, bestW = label, w
+		}
+	}
+	return best
+}
+
+// Predict classifies x: one task per query row block, each depending on all
+// fitted blocks (Figure 6's fan-in). Returns a 1-column label array with
+// x's row blocking.
+func (m *KNN) Predict(x *dsarray.Array) (*dsarray.Array, error) {
+	if m.fitted == nil {
+		return nil, ErrNotFitted
+	}
+	if x.Cols() != m.dims {
+		return nil, fmt.Errorf("knn: %d features, model fitted on %d", x.Cols(), m.dims)
+	}
+	p := m.Params.withDefaults()
+	tc := x.Ctx()
+	nrb := x.NumRowBlocks()
+	blocks := make([][]*compss.Future, nrb)
+	for i := 0; i < nrb; i++ {
+		rows := x.RowBlockRows(i)
+		blocks[i] = []*compss.Future{tc.Submit(compss.Opts{
+			Name:     "nn_predict",
+			Cost:     costs.KNNQuery(m.nTrain, rows, m.dims),
+			OutBytes: costs.Bytes(rows, 1),
+		}, func(_ *compss.TaskCtx, args []any) (any, error) {
+			q := args[0].(*mat.Dense)
+			fitted := make([]*nnBlock, 0, len(args[1].([]any)))
+			for _, v := range args[1].([]any) {
+				fitted = append(fitted, v.(*nnBlock))
+			}
+			neighbors := queryBlock(q, fitted, p.K)
+			out := mat.New(q.Rows, 1)
+			for r, nb := range neighbors {
+				out.Set(r, 0, float64(vote(nb, p)))
+			}
+			return out, nil
+		}, x.RowBlock(i), m.fitted)}
+	}
+	return dsarray.FromBlocks(tc, blocks, x.Rows(), 1, x.BlockRows(), 1), nil
+}
+
+// Kneighbors returns, for each row of x, the distances (not squared) and
+// dataset-global indices of its K nearest training samples, as two
+// ds-arrays of shape (rows × K) with x's row blocking — the kneighbors()
+// query of the paper's parameter list.
+func (m *KNN) Kneighbors(x *dsarray.Array) (dists, indices *dsarray.Array, err error) {
+	if m.fitted == nil {
+		return nil, nil, ErrNotFitted
+	}
+	if x.Cols() != m.dims {
+		return nil, nil, fmt.Errorf("knn: %d features, model fitted on %d", x.Cols(), m.dims)
+	}
+	p := m.Params.withDefaults()
+	tc := x.Ctx()
+	nrb := x.NumRowBlocks()
+	dblocks := make([][]*compss.Future, nrb)
+	iblocks := make([][]*compss.Future, nrb)
+	for i := 0; i < nrb; i++ {
+		rows := x.RowBlockRows(i)
+		fs := tc.SubmitN(compss.Opts{
+			Name:     "nn_kneighbors",
+			Cost:     costs.KNNQuery(m.nTrain, rows, m.dims),
+			OutBytes: 2 * costs.Bytes(rows, p.K),
+		}, 2, func(_ *compss.TaskCtx, args []any) ([]any, error) {
+			q := args[0].(*mat.Dense)
+			fitted := make([]*nnBlock, 0, len(args[1].([]any)))
+			for _, v := range args[1].([]any) {
+				fitted = append(fitted, v.(*nnBlock))
+			}
+			neighbors := queryBlock(q, fitted, p.K)
+			d := mat.New(q.Rows, p.K)
+			ix := mat.New(q.Rows, p.K)
+			for r, nb := range neighbors {
+				for c, n := range nb {
+					d.Set(r, c, math.Sqrt(n.d2))
+					ix.Set(r, c, float64(n.idx))
+				}
+			}
+			return []any{d, ix}, nil
+		}, x.RowBlock(i), m.fitted)
+		dblocks[i] = []*compss.Future{fs[0]}
+		iblocks[i] = []*compss.Future{fs[1]}
+	}
+	dists = dsarray.FromBlocks(tc, dblocks, x.Rows(), p.K, x.BlockRows(), p.K)
+	indices = dsarray.FromBlocks(tc, iblocks, x.Rows(), p.K, x.BlockRows(), p.K)
+	return dists, indices, nil
+}
+
+// Score returns the mean accuracy on (x, y).
+func (m *KNN) Score(x, y *dsarray.Array) (float64, error) {
+	pred, err := m.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	return dsarray.Accuracy(pred, y)
+}

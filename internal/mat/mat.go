@@ -1,0 +1,539 @@
+// Package mat provides the dense linear-algebra kernels the rest of the
+// library is built on: a row-major dense matrix type, GEMM, transposed
+// products, and a symmetric eigendecomposition (the replacement for
+// numpy.linalg.eigh used by the PCA covariance method in the paper).
+//
+// The package is deliberately dependency-free and single-threaded: all
+// parallelism in taskml is expressed at the task level (internal/compss),
+// mirroring how dislib runs serial NumPy kernels inside PyCOMPSs tasks.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64.
+//
+// The zero value is an empty (0×0) matrix. Data is stored contiguously:
+// element (i, j) lives at Data[i*Cols+j].
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r×c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewFromData wraps data (not copied) as an r×c matrix.
+// It panics if len(data) != r*c.
+func NewFromData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// NewFromRows builds a matrix by copying the given rows. All rows must have
+// equal length. An empty input yields a 0×0 matrix.
+func NewFromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Slice returns a copy of the sub-matrix with rows [r0, r1) and columns
+// [c0, c1).
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || c0 < 0 || r1 > m.Rows || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("mat: slice [%d:%d, %d:%d] out of bounds for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have identical shape and elements within tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add stores a+b into a new matrix. Shapes must match.
+func Add(a, b *Dense) *Dense {
+	checkSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub stores a-b into a new matrix. Shapes must match.
+func Sub(a, b *Dense) *Dense {
+	checkSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a. Shapes must match.
+func AddInPlace(a, b *Dense) {
+	checkSameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale returns s*a as a new matrix.
+func Scale(s float64, a *Dense) *Dense {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of a by s.
+func ScaleInPlace(a *Dense, s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+func checkSameShape(op string, a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Mul computes the matrix product a·b.
+//
+// The kernel uses the ikj loop order so the innermost loop streams through
+// contiguous rows of b and out, which is the standard cache-friendly layout
+// for row-major storage.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += aik * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulAtB computes aᵀ·b without materialising the transpose. This is the
+// kernel behind the PCA covariance step (xᵀx) of the paper's §III-B.4.
+func MulAtB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulAtB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABt computes a·bᵀ. Used for pairwise dot products between row-sample
+// blocks (KNN distance computation, RBF kernels).
+func MulABt(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulABt shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MulVec computes the matrix-vector product a·x.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColMeans returns the per-column mean of m. A 0-row matrix yields zeros.
+func ColMeans(m *Dense) []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColSums returns the per-column sum of m.
+func ColSums(m *Dense) []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// SubRowVec subtracts vector v from every row of m, in place.
+func SubRowVec(m *Dense, v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: SubRowVec length %d vs %d cols", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= v[j]
+		}
+	}
+}
+
+// VStack concatenates matrices vertically. All inputs must share a column
+// count; nil or empty inputs are skipped.
+func VStack(ms ...*Dense) *Dense {
+	rows, cols := 0, -1
+	for _, m := range ms {
+		if m == nil || m.Rows == 0 {
+			continue
+		}
+		if cols == -1 {
+			cols = m.Cols
+		} else if m.Cols != cols {
+			panic(fmt.Sprintf("mat: VStack column mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	if cols == -1 {
+		return New(0, 0)
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, m := range ms {
+		if m == nil || m.Rows == 0 {
+			continue
+		}
+		copy(out.Data[at*cols:], m.Data)
+		at += m.Rows
+	}
+	return out
+}
+
+// HStack concatenates matrices horizontally. All inputs must share a row
+// count.
+func HStack(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		at := 0
+		for _, m := range ms {
+			copy(out.Row(i)[at:at+m.Cols], m.Row(i))
+			at += m.Cols
+		}
+	}
+	return out
+}
+
+// TakeRows returns a new matrix with the rows of m selected by idx, in order.
+func TakeRows(m *Dense, idx []int) *Dense {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm of the matrix elements.
+func Norm2(m *Dense) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ErrNotConverged is returned by iterative solvers that exhaust their sweep
+// budget before reaching the requested tolerance.
+var ErrNotConverged = errors.New("mat: iteration did not converge")
+
+// EigSym computes the eigendecomposition of the symmetric matrix a using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// matching unit eigenvectors as the *columns* of the returned matrix, the
+// same convention as numpy.linalg.eigh after a descending sort (which is
+// what dislib's PCA does with the covariance matrix).
+//
+// a is not modified. Symmetry is assumed; only the upper triangle is
+// trusted. EigSym returns ErrNotConverged if off-diagonal mass remains after
+// the sweep budget, with the best available approximation still returned.
+func EigSym(a *Dense) (vals []float64, vecs *Dense, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		panic(fmt.Sprintf("mat: EigSym on non-square %dx%d", n, a.Cols))
+	}
+	w := a.Clone()
+	// Symmetrise from the upper triangle so tiny asymmetries from
+	// accumulated floating error cannot bias the rotations.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := w.At(i, j)
+			w.Set(j, i, v)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 64
+	tol := 1e-11 * offDiagNorm(w)
+	if tol == 0 {
+		tol = 1e-300
+	}
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiagNorm(w) <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	if !converged && offDiagNorm(w) > tol {
+		err = ErrNotConverged
+	}
+
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := argsortDesc(vals)
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range order {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, err
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) as w ← JᵀwJ and accumulates
+// it into the eigenvector matrix v ← vJ.
+func rotate(w, v *Dense, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp, wkq := w.At(k, p), w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk, wqk := w.At(p, k), w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(m *Dense) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				v := m.At(i, j)
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func argsortDesc(vals []float64) []int {
+	order := make([]int, len(vals))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort: n is the feature count after reduction, small enough,
+	// and we avoid importing sort for a closure-based Slice here.
+	for i := 1; i < len(order); i++ {
+		j := i
+		for j > 0 && vals[order[j-1]] < vals[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	return order
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with v on the diagonal.
+func Diag(v []float64) *Dense {
+	m := New(len(v), len(v))
+	for i, x := range v {
+		m.Set(i, i, x)
+	}
+	return m
+}
+
+// String renders small matrices for debugging; large matrices are
+// abbreviated to their shape.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Dense(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

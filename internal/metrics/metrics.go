@@ -1,0 +1,259 @@
+// Package metrics provides the evaluation machinery of the paper's §IV:
+// confusion matrices in the normalized layout of Table I, accuracy,
+// precision/recall/F1 (the paper's discussion of precision-focus vs
+// recall-focus for stroke care), and the stratified K-fold splitter behind
+// every experiment's 5-fold cross-validation.
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Confusion is a k-class confusion matrix of raw counts, rows = true class,
+// columns = predicted class.
+type Confusion struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusion returns an empty k-class confusion matrix.
+func NewConfusion(k int) *Confusion {
+	c := &Confusion{K: k, Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	return c
+}
+
+// Add records one (truth, prediction) pair.
+func (c *Confusion) Add(truth, pred int) {
+	c.Counts[truth][pred]++
+}
+
+// AddAll records paired slices; it panics on length mismatch.
+func (c *Confusion) AddAll(truth, pred []int) {
+	if len(truth) != len(pred) {
+		panic(fmt.Sprintf("metrics: %d truths vs %d predictions", len(truth), len(pred)))
+	}
+	for i := range truth {
+		c.Add(truth[i], pred[i])
+	}
+}
+
+// Merge accumulates another confusion matrix (e.g. across folds).
+func (c *Confusion) Merge(o *Confusion) {
+	if o.K != c.K {
+		panic("metrics: merging confusion matrices of different arity")
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// Total returns the number of recorded samples.
+func (c *Confusion) Total() int {
+	t := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Accuracy returns the fraction of correct predictions (0 when empty).
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.K; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(t)
+}
+
+// Fraction returns cell (truth, pred) normalized by the total — the layout
+// of the paper's Table I, where each cell is the fraction of all samples.
+func (c *Confusion) Fraction(truth, pred int) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Counts[truth][pred]) / float64(t)
+}
+
+// Precision returns TP / (TP + FP) for the given class (1 when the class is
+// never predicted, following the convention that avoids 0/0).
+func (c *Confusion) Precision(class int) float64 {
+	tp := c.Counts[class][class]
+	pred := 0
+	for i := 0; i < c.K; i++ {
+		pred += c.Counts[i][class]
+	}
+	if pred == 0 {
+		return 1
+	}
+	return float64(tp) / float64(pred)
+}
+
+// Recall returns TP / (TP + FN) for the given class (1 when the class has
+// no samples).
+func (c *Confusion) Recall(class int) float64 {
+	tp := c.Counts[class][class]
+	actual := 0
+	for j := 0; j < c.K; j++ {
+		actual += c.Counts[class][j]
+	}
+	if actual == 0 {
+		return 1
+	}
+	return float64(tp) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for the class.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix in the Table I style, with class labels and
+// total-normalized fractions.
+func (c *Confusion) String() string {
+	return c.Render(defaultLabels(c.K))
+}
+
+// Render renders the matrix with the given class labels.
+func (c *Confusion) Render(labels []string) string {
+	var b strings.Builder
+	b.WriteString("          Prediction\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%8s", l)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < c.K; i++ {
+		fmt.Fprintf(&b, "%-8s", labels[i])
+		for j := 0; j < c.K; j++ {
+			fmt.Fprintf(&b, "%8.3f", c.Fraction(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func defaultLabels(k int) []string {
+	ls := make([]string, k)
+	for i := range ls {
+		ls[i] = fmt.Sprintf("c%d", i)
+	}
+	return ls
+}
+
+// Accuracy is a convenience for paired label slices.
+func Accuracy(truth, pred []int) float64 {
+	c := NewConfusion(maxLabel(truth, pred) + 1)
+	c.AddAll(truth, pred)
+	return c.Accuracy()
+}
+
+func maxLabel(xs ...[]int) int {
+	m := 0
+	for _, s := range xs {
+		for _, v := range s {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Fold is one cross-validation split, holding row indices into the dataset.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold produces k folds over n samples after a seeded shuffle. Every
+// sample appears in exactly one test set; fold sizes differ by at most one.
+func KFold(n, k int, seed int64) []Fold {
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("metrics: KFold k=%d invalid for n=%d", k, n))
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	return foldsFrom(idx, k)
+}
+
+// StratifiedKFold produces k folds preserving per-class proportions, the
+// splitter used for the paper's 5-fold cross-validations.
+func StratifiedKFold(labels []int, k int, seed int64) []Fold {
+	n := len(labels)
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("metrics: StratifiedKFold k=%d invalid for n=%d", k, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := map[int][]int{}
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	// Interleave shuffled per-class lists so contiguous chunks are
+	// stratified.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	// Deterministic class order.
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			if classes[j] < classes[i] {
+				classes[i], classes[j] = classes[j], classes[i]
+			}
+		}
+	}
+	for _, c := range classes {
+		rng.Shuffle(len(byClass[c]), func(i, j int) {
+			byClass[c][i], byClass[c][j] = byClass[c][j], byClass[c][i]
+		})
+	}
+	// Round-robin assignment to folds per class keeps proportions within 1.
+	assign := make([]int, n)
+	for _, c := range classes {
+		for i, idx := range byClass[c] {
+			assign[idx] = i % k
+		}
+	}
+	folds := make([]Fold, k)
+	for i := 0; i < n; i++ {
+		f := assign[i]
+		folds[f].Test = append(folds[f].Test, i)
+		for j := 0; j < k; j++ {
+			if j != f {
+				folds[j].Train = append(folds[j].Train, i)
+			}
+		}
+	}
+	return folds
+}
+
+func foldsFrom(idx []int, k int) []Fold {
+	folds := make([]Fold, k)
+	for i, sample := range idx {
+		f := i % k
+		folds[f].Test = append(folds[f].Test, sample)
+		for j := 0; j < k; j++ {
+			if j != f {
+				folds[j].Train = append(folds[j].Train, sample)
+			}
+		}
+	}
+	return folds
+}

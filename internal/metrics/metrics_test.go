@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(2)
+	c.AddAll([]int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	if math.Abs(c.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.75", c.Accuracy())
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionFractionsMatchTableLayout(t *testing.T) {
+	// Reproduce the arithmetic of the paper's Table Ia: 2006 samples,
+	// 762 TP(AF), 251 FN, 251 FP, 742 TN → fractions 0.379/0.125/0.125/0.369.
+	c := NewConfusion(2)
+	for i := 0; i < 762; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 251; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 251; i++ {
+		c.Add(1, 0)
+	}
+	for i := 0; i < 742; i++ {
+		c.Add(1, 1)
+	}
+	if math.Abs(c.Fraction(0, 0)-0.37986) > 1e-3 {
+		t.Fatalf("Fraction(0,0) = %v", c.Fraction(0, 0))
+	}
+	if math.Abs(c.Accuracy()-0.7498) > 1e-3 {
+		t.Fatalf("Accuracy = %v, want ≈ 0.7498 (the paper's 74.9%%)", c.Accuracy())
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := NewConfusion(2)
+	// class 0: TP=8, FN=2; predicted 0: 8+4 → precision 8/12, recall 8/10.
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(0, 1)
+	}
+	for i := 0; i < 4; i++ {
+		c.Add(1, 0)
+	}
+	for i := 0; i < 6; i++ {
+		c.Add(1, 1)
+	}
+	if math.Abs(c.Precision(0)-8.0/12) > 1e-12 {
+		t.Fatalf("Precision = %v", c.Precision(0))
+	}
+	if math.Abs(c.Recall(0)-0.8) > 1e-12 {
+		t.Fatalf("Recall = %v", c.Recall(0))
+	}
+	p, r := 8.0/12, 0.8
+	if math.Abs(c.F1(0)-2*p*r/(p+r)) > 1e-12 {
+		t.Fatalf("F1 = %v", c.F1(0))
+	}
+}
+
+func TestPrecisionRecallDegenerate(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0) // class 1 never appears nor predicted
+	if c.Precision(1) != 1 || c.Recall(1) != 1 {
+		t.Fatal("degenerate precision/recall convention broken")
+	}
+	empty := NewConfusion(2)
+	if empty.Accuracy() != 0 || empty.Fraction(0, 0) != 0 {
+		t.Fatal("empty confusion must report zeros")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewConfusion(2)
+	a.Add(0, 0)
+	b := NewConfusion(2)
+	b.Add(1, 1)
+	b.Add(1, 0)
+	a.Merge(b)
+	if a.Total() != 3 || a.Counts[1][0] != 1 {
+		t.Fatalf("Merge wrong: %+v", a.Counts)
+	}
+}
+
+func TestMergeArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewConfusion(2).Merge(NewConfusion(3))
+}
+
+func TestAddAllLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewConfusion(2).AddAll([]int{0}, []int{0, 1})
+}
+
+func TestRenderContainsLabels(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	s := c.Render([]string{"AF", "N"})
+	if !strings.Contains(s, "AF") || !strings.Contains(s, "Prediction") {
+		t.Fatalf("Render output:\n%s", s)
+	}
+	if c.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if a := Accuracy([]int{0, 1, 1}, []int{0, 1, 0}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", a)
+	}
+}
+
+func checkPartition(t *testing.T, folds []Fold, n int) {
+	t.Helper()
+	seen := map[int]int{}
+	for fi, f := range folds {
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// Train ∪ Test = all, disjoint.
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatalf("fold %d: index %d in both train and test", fi, i)
+			}
+		}
+		if len(f.Train)+len(f.Test) != n {
+			t.Fatalf("fold %d covers %d of %d", fi, len(f.Train)+len(f.Test), n)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("test sets cover %d of %d samples", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("sample %d appears in %d test sets", i, c)
+		}
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	folds := KFold(23, 5, 1)
+	if len(folds) != 5 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	checkPartition(t, folds, 23)
+	// Sizes within 1.
+	for _, f := range folds {
+		if len(f.Test) < 4 || len(f.Test) > 5 {
+			t.Fatalf("fold size %d", len(f.Test))
+		}
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFold(10, 2, 7)
+	b := KFold(10, 2, 7)
+	for i := range a {
+		if len(a[i].Test) != len(b[i].Test) {
+			t.Fatal("same seed different folds")
+		}
+		sort.Ints(a[i].Test)
+		sort.Ints(b[i].Test)
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("same seed different folds")
+			}
+		}
+	}
+}
+
+func TestKFoldInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	KFold(3, 5, 0)
+}
+
+func TestStratifiedKFoldPreservesProportions(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 80; i < 100; i++ {
+		labels[i] = 1 // 80/20 split
+	}
+	folds := StratifiedKFold(labels, 5, 3)
+	checkPartition(t, folds, 100)
+	for fi, f := range folds {
+		ones := 0
+		for _, i := range f.Test {
+			if labels[i] == 1 {
+				ones++
+			}
+		}
+		if ones != 4 {
+			t.Fatalf("fold %d has %d minority samples, want 4", fi, ones)
+		}
+	}
+}
+
+// Property: stratified folds always partition and keep per-class counts
+// within 1 across folds.
+func TestStratifiedKFoldProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		k := 2 + rng.Intn(4)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(3)
+		}
+		folds := StratifiedKFold(labels, k, seed)
+		perClass := map[int][]int{}
+		for fi, fold := range folds {
+			counts := map[int]int{}
+			for _, i := range fold.Test {
+				counts[labels[i]]++
+			}
+			for c := 0; c < 3; c++ {
+				for len(perClass[c]) <= fi {
+					perClass[c] = append(perClass[c], 0)
+				}
+				perClass[c][fi] = counts[c]
+			}
+		}
+		for _, counts := range perClass {
+			lo, hi := counts[0], counts[0]
+			for _, v := range counts {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi-lo > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

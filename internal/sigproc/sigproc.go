@@ -1,0 +1,213 @@
+// Package sigproc implements the signal-processing kernels of the paper's
+// feature-extraction pipeline (§III-B): zero-padding, window functions, a
+// radix-2 FFT, and the Short-Time Fourier Transform spectrogram that SciPy's
+// signal.spectrogram provides in the original implementation. The paper
+// flattens the spectrogram into a 1-D feature vector that feeds PCA and the
+// classifiers.
+package sigproc
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"taskml/internal/mat"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the discrete Fourier transform of x with an iterative
+// radix-2 Cooley-Tukey algorithm. len(x) must be a power of two (use
+// NextPow2 + ZeroPadComplex to arrange it); FFT panics otherwise, as that
+// is a programming error in this codebase. The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return fft(x, false)
+}
+
+// IFFT computes the inverse DFT (normalised by 1/n).
+func IFFT(x []complex128) []complex128 {
+	out := fft(x, true)
+	inv := 1 / float64(len(x))
+	for i := range out {
+		out[i] *= complex(inv, 0)
+	}
+	return out
+}
+
+func fft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("sigproc: FFT length %d is not a power of two", n))
+	}
+	out := make([]complex128, n)
+	// Bit-reversal permutation.
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		rev := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				rev |= 1 << (bits - 1 - b)
+			}
+		}
+		out[rev] = x[i]
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, sign*2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return out
+}
+
+// Hann returns the n-point Hann window (the window we use for the STFT; the
+// paper's SciPy call defaults to a Tukey window — both are tapered cosine
+// windows with equivalent effect on the downstream features).
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// ZeroPad extends (or truncates) x to length n by appending zeros — the
+// paper's zero-padding step that evens out the 9-to-61-second recordings
+// (§III-B.2).
+func ZeroPad(x []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+// SpectrogramConfig parameterises the STFT.
+type SpectrogramConfig struct {
+	// Fs is the sampling frequency in Hz (300 for the CinC recordings).
+	Fs float64
+	// WindowSize is the segment length (power of two).
+	WindowSize int
+	// Overlap is the number of samples shared by consecutive segments;
+	// must be < WindowSize.
+	Overlap int
+}
+
+// Validate checks the configuration.
+func (c SpectrogramConfig) Validate() error {
+	if c.Fs <= 0 {
+		return fmt.Errorf("sigproc: Fs must be positive, got %v", c.Fs)
+	}
+	if !IsPow2(c.WindowSize) {
+		return fmt.Errorf("sigproc: WindowSize %d must be a power of two", c.WindowSize)
+	}
+	if c.Overlap < 0 || c.Overlap >= c.WindowSize {
+		return fmt.Errorf("sigproc: Overlap %d must be in [0, WindowSize)", c.Overlap)
+	}
+	return nil
+}
+
+// NumSegments returns how many STFT segments a signal of length n yields.
+func (c SpectrogramConfig) NumSegments(n int) int {
+	hop := c.WindowSize - c.Overlap
+	if n < c.WindowSize {
+		return 0
+	}
+	return 1 + (n-c.WindowSize)/hop
+}
+
+// NumBins returns the number of one-sided frequency bins.
+func (c SpectrogramConfig) NumBins() int { return c.WindowSize/2 + 1 }
+
+// Spectrogram computes the one-sided power spectral density spectrogram of
+// x: rows are frequency bins (NumBins), columns are time segments, matching
+// scipy.signal.spectrogram's layout where "each column contains an estimate
+// of the short-term, time-localized frequency components" (§III-B.3).
+// It also returns the bin frequencies (Hz) and segment center times (s).
+func Spectrogram(x []float64, c SpectrogramConfig) (*mat.Dense, []float64, []float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	nseg := c.NumSegments(len(x))
+	if nseg == 0 {
+		return nil, nil, nil, fmt.Errorf("sigproc: signal length %d shorter than window %d", len(x), c.WindowSize)
+	}
+	hop := c.WindowSize - c.Overlap
+	win := Hann(c.WindowSize)
+	var winPow float64
+	for _, w := range win {
+		winPow += w * w
+	}
+	scale := 1 / (c.Fs * winPow)
+
+	nb := c.NumBins()
+	out := mat.New(nb, nseg)
+	buf := make([]complex128, c.WindowSize)
+	for s := 0; s < nseg; s++ {
+		off := s * hop
+		for i := 0; i < c.WindowSize; i++ {
+			buf[i] = complex(x[off+i]*win[i], 0)
+		}
+		spec := FFT(buf)
+		for b := 0; b < nb; b++ {
+			p := real(spec[b])*real(spec[b]) + imag(spec[b])*imag(spec[b])
+			p *= scale
+			if b != 0 && b != c.WindowSize/2 {
+				p *= 2 // one-sided: fold the negative frequencies
+			}
+			out.Set(b, s, p)
+		}
+	}
+
+	freqs := make([]float64, nb)
+	for b := range freqs {
+		freqs[b] = float64(b) * c.Fs / float64(c.WindowSize)
+	}
+	times := make([]float64, nseg)
+	for s := range times {
+		times[s] = (float64(s*hop) + float64(c.WindowSize)/2) / c.Fs
+	}
+	return out, freqs, times, nil
+}
+
+// Flatten concatenates the spectrogram rows into the 1-D feature vector the
+// paper feeds to PCA ("the array elements are concatenated to produce a
+// 1-dimensional array").
+func Flatten(m *mat.Dense) []float64 {
+	out := make([]float64, len(m.Data))
+	copy(out, m.Data)
+	return out
+}
+
+// FeatureLen returns the flattened feature length for signals of length n —
+// the analogue of the paper's 18810-long vector.
+func (c SpectrogramConfig) FeatureLen(n int) int {
+	return c.NumBins() * c.NumSegments(n)
+}

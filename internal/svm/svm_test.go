@@ -1,0 +1,415 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taskml/internal/compss"
+	"taskml/internal/dsarray"
+	"taskml/internal/mat"
+)
+
+func newRT() *compss.Runtime { return compss.New(compss.Config{Workers: 4}) }
+
+// blobs generates two Gaussian clusters, labels 0/1, separation sep.
+func blobs(rng *rand.Rand, n, d int, sep float64) (*mat.Dense, []int) {
+	x := mat.New(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		y[i] = c
+		off := -sep / 2
+		if c == 1 {
+			off = sep / 2
+		}
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64()+off)
+		}
+	}
+	return x, y
+}
+
+// xorData is the classic non-linearly-separable set.
+func xorData(rng *rand.Rand, n int) (*mat.Dense, []int) {
+	x := mat.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if (a > 0) != (b > 0) {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestSVCSeparableBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := blobs(rng, 120, 3, 5)
+	m := &SVC{Params: SVCParams{Seed: 1}}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Score(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.98 {
+		t.Fatalf("training accuracy %v on well-separated blobs", acc)
+	}
+	// Generalisation on fresh data.
+	xt, yt := blobs(rng, 60, 3, 5)
+	acc, err = m.Score(xt, yt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("test accuracy %v", acc)
+	}
+}
+
+func TestSVCXorNeedsRBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := xorData(rng, 240)
+	rbf := &SVC{Params: SVCParams{Kernel: RBF, Gamma: 1, C: 5, Seed: 2}}
+	if err := rbf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	accRBF, _ := rbf.Score(x, y)
+	lin := &SVC{Params: SVCParams{Kernel: Linear, C: 5, Seed: 2}}
+	if err := lin.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	accLin, _ := lin.Score(x, y)
+	if accRBF < 0.9 {
+		t.Fatalf("RBF accuracy %v on XOR", accRBF)
+	}
+	if accLin > 0.75 {
+		t.Fatalf("linear kernel should fail on XOR, got %v", accLin)
+	}
+}
+
+func TestSVCSupportVectorsSubsetAndMargin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := blobs(rng, 100, 2, 6)
+	m := &SVC{Params: SVCParams{Seed: 3}}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupport() == 0 || m.NumSupport() > x.Rows {
+		t.Fatalf("support vector count %d", m.NumSupport())
+	}
+	// With a large margin, most points should NOT be support vectors.
+	if m.NumSupport() > x.Rows/2 {
+		t.Fatalf("%d of %d samples are SVs for well-separated data", m.NumSupport(), x.Rows)
+	}
+	// Alphas bounded by C.
+	p := m.Params.withDefaults()
+	for _, a := range m.Alphas {
+		if a < 0 || a > p.C+1e-9 {
+			t.Fatalf("alpha %v outside [0, C]", a)
+		}
+	}
+}
+
+func TestSVCDegenerateSingleClass(t *testing.T) {
+	x := mat.NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	m := &SVC{}
+	if err := m.Fit(x, []int{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pred {
+		if p != 1 {
+			t.Fatalf("single-class model predicted %d", p)
+		}
+	}
+}
+
+func TestSVCErrors(t *testing.T) {
+	m := &SVC{}
+	if err := m.Fit(mat.New(2, 2), []int{0}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if err := m.Fit(mat.New(0, 2), nil); err == nil {
+		t.Fatal("want empty set error")
+	}
+	if err := m.Fit(mat.New(2, 2), []int{0, 7}); err == nil {
+		t.Fatal("want invalid label error")
+	}
+	if _, err := (&SVC{}).Predict(mat.New(1, 2)); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	fitted := &SVC{}
+	if err := fitted.Fit(mat.NewFromRows([][]float64{{0, 0}, {1, 1}}), []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fitted.Predict(mat.New(1, 5)); err == nil {
+		t.Fatal("want feature mismatch error")
+	}
+}
+
+func TestSVCDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := blobs(rng, 80, 2, 2)
+	a := &SVC{Params: SVCParams{Seed: 9}}
+	b := &SVC{Params: SVCParams{Seed: 9}}
+	if err := a.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSupport() != b.NumSupport() || math.Abs(a.B-b.B) > 1e-12 {
+		t.Fatal("same seed produced different models")
+	}
+}
+
+func TestCascadeSVMMatchesQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := blobs(rng, 300, 4, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 50, 4)
+	ya := dsarray.FromLabels(rt.Main(), y, 50)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 5}, Iterations: 2}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Score(xa, ya)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("cascade accuracy %v", acc)
+	}
+}
+
+func TestCascadeGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := blobs(rng, 160, 3, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 20, 3) // 8 row blocks
+	ya := dsarray.FromLabels(rt.Main(), y, 20)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 6}, Iterations: 2}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	counts := rt.Graph().CountByName()
+	// One svc_fit per row block per iteration.
+	if counts["svc_fit"] != 16 {
+		t.Fatalf("svc_fit = %d, want 16", counts["svc_fit"])
+	}
+	// Pairwise reduction of 8 → 7 merges, per iteration.
+	if counts["svc_merge"] != 14 {
+		t.Fatalf("svc_merge = %d, want 14", counts["svc_merge"])
+	}
+	if err := rt.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadeArityReducesMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := blobs(rng, 160, 3, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 20, 3)
+	ya := dsarray.FromLabels(rt.Main(), y, 20)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 7}, Iterations: 1, Arity: 4}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 nodes, arity 4: 2 merges then 1 → 3 merges.
+	if n := rt.Graph().CountByName()["svc_merge"]; n != 3 {
+		t.Fatalf("svc_merge = %d, want 3 with arity 4", n)
+	}
+}
+
+func TestCascadeCoresPerTaskRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := blobs(rng, 60, 2, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 30, 2)
+	ya := dsarray.FromLabels(rt.Main(), y, 30)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 8}, Iterations: 1, CoresPerTask: 8}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range rt.Graph().Tasks() {
+		if tk.Name == "svc_fit" && tk.Cores != 8 {
+			t.Fatalf("svc_fit task has %d cores, want 8", tk.Cores)
+		}
+	}
+}
+
+func TestCascadeErrors(t *testing.T) {
+	rt := newRT()
+	x := dsarray.FromMatrix(rt.Main(), mat.New(10, 2), 5, 2)
+	yShort := dsarray.FromLabels(rt.Main(), make([]int, 8), 5)
+	c := &CascadeSVM{}
+	if err := c.Fit(x, yShort); err == nil {
+		t.Fatal("want sample/label mismatch")
+	}
+	if _, err := c.Predict(x); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	yWide := dsarray.FromMatrix(rt.Main(), mat.New(10, 2), 5, 2)
+	if err := c.Fit(x, yWide); err == nil {
+		t.Fatal("want 1-column label error")
+	}
+}
+
+func TestCascadeModelExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := blobs(rng, 100, 2, 5)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 25, 2)
+	ya := dsarray.FromLabels(rt.Main(), y, 25)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 9}, Iterations: 2}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Model(rt.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupport() == 0 {
+		t.Fatal("final model has no support vectors")
+	}
+	// The extracted serial model must agree with distributed predict.
+	pred, err := c.Predict(xa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distLabels, err := dsarray.CollectLabels(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != distLabels[i] {
+			t.Fatalf("serial and distributed predictions disagree at %d", i)
+		}
+	}
+}
+
+func TestScoreBlockingMismatch(t *testing.T) {
+	rt := newRT()
+	a := dsarray.FromLabels(rt.Main(), make([]int, 10), 5)
+	b := dsarray.FromLabels(rt.Main(), make([]int, 8), 5)
+	if _, err := dsarray.Accuracy(a, b); err == nil {
+		t.Fatal("want blocking mismatch error")
+	}
+}
+
+func BenchmarkSVCFit200x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := blobs(rng, 200, 8, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &SVC{Params: SVCParams{Seed: int64(i)}}
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCascadeFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := blobs(rng, 400, 8, 3)
+	for i := 0; i < b.N; i++ {
+		rt := newRT()
+		xa := dsarray.FromMatrix(rt.Main(), x, 50, 8)
+		ya := dsarray.FromLabels(rt.Main(), y, 50)
+		c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 11}, Iterations: 2}}
+		if err := c.Fit(xa, ya); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Barrier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSVCObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x, y := blobs(rng, 80, 3, 3)
+	m := &SVC{Params: SVCParams{Seed: 20}}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := m.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj <= 0 {
+		t.Fatalf("dual objective %v, want positive at the optimum", obj)
+	}
+	if _, err := (&SVC{}).Objective(); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestCascadeConvergenceStopsEarly(t *testing.T) {
+	// Easily separable data converges after the first feedback pass; with
+	// a generous tolerance the cascade must stop well before 6 iterations.
+	rng := rand.New(rand.NewSource(21))
+	x, y := blobs(rng, 200, 3, 6)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 40, 3)
+	ya := dsarray.FromLabels(rt.Main(), y, 40)
+	c := &CascadeSVM{Params: CascadeParams{
+		SVC: SVCParams{Seed: 21}, Iterations: 6,
+		CheckConvergence: true, ConvergenceTol: 0.05,
+	}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if c.IterationsRun() >= 6 {
+		t.Fatalf("ran %d iterations, expected early convergence", c.IterationsRun())
+	}
+	acc, err := c.Score(xa, ya)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("converged model accuracy %v", acc)
+	}
+	// The convergence checks synchronise: svc_objective tasks exist.
+	if rt.Graph().CountByName()["svc_objective"] == 0 {
+		t.Fatal("no objective tasks captured")
+	}
+}
+
+func TestCascadeWithoutConvergenceRunsAllIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x, y := blobs(rng, 100, 2, 4)
+	rt := newRT()
+	xa := dsarray.FromMatrix(rt.Main(), x, 25, 2)
+	ya := dsarray.FromLabels(rt.Main(), y, 25)
+	c := &CascadeSVM{Params: CascadeParams{SVC: SVCParams{Seed: 22}, Iterations: 3}}
+	if err := c.Fit(xa, ya); err != nil {
+		t.Fatal(err)
+	}
+	if c.IterationsRun() != 3 {
+		t.Fatalf("ran %d iterations, want 3", c.IterationsRun())
+	}
+}
