@@ -20,6 +20,7 @@ import (
 
 	"taskml/internal/compss"
 	"taskml/internal/core"
+	"taskml/internal/par"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	nested := flag.Bool("nested", false, "use nesting for the CNN (Figure 10)")
 	flag.Parse()
 
+	// Dataset construction runs on the master, before any task runtime
+	// exists: let the kernel layer (internal/par) use the whole machine.
 	dcfg := core.TableIData(*scale, *seed)
 	fmt.Printf("building dataset: %d Normal + %d AF, balancing by shuffling augmentation...\n",
 		dcfg.NNormal, dcfg.NAF)
@@ -45,6 +48,11 @@ func main() {
 	cfg := core.TableIPipeline(*seed)
 	cfg.Workers = *workers
 	cfg.CNNNested = *nested
+
+	// From here on, parallelism belongs to the task runtime: cap the
+	// shared kernel layer at one goroutine per task body so W workers ×
+	// kernel threads never oversubscribe the machine (see internal/par).
+	par.SetLimit(1)
 
 	// The PCA stage is shared by all models (the paper excludes its
 	// constant time from the per-model results); run it once.

@@ -19,6 +19,7 @@ import (
 	"taskml/internal/cluster"
 	"taskml/internal/core"
 	"taskml/internal/eddl"
+	"taskml/internal/par"
 	"taskml/internal/svm"
 )
 
@@ -37,6 +38,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Feature extraction above used the full kernel-layer width; the
+	// workflow below runs on a task runtime, which owns the cores from here
+	// (internal/par oversubscription contract).
+	par.SetLimit(1)
 
 	cfg := core.PipelineConfig{
 		Seed:      1,

@@ -22,6 +22,7 @@ import (
 
 	"taskml/internal/core"
 	"taskml/internal/eddl"
+	"taskml/internal/par"
 )
 
 func main() {
@@ -40,6 +41,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// The captured run below goes through a task runtime; keep the kernel
+	// layer serial so task-level parallelism owns the machine
+	// (internal/par oversubscription contract).
+	par.SetLimit(1)
 
 	cfg := core.PipelineConfig{
 		Seed:      1,

@@ -306,6 +306,7 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 		}
 	}
 
+	depsReady := time.Now()
 	rt.sem <- struct{}{}
 	started := time.Now()
 	child := &TaskCtx{rt: rt, parent: id, insideTask: true}
@@ -327,7 +328,13 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 		st.vals = vals
 	}()
 	<-rt.sem
-	rt.rec.add(TaskStat{ID: id, Name: st.name, Queued: started.Sub(submitted), Duration: time.Since(started)})
+	rt.rec.add(TaskStat{
+		ID:       id,
+		Name:     st.name,
+		WaitDeps: depsReady.Sub(submitted),
+		Queued:   started.Sub(depsReady),
+		Duration: time.Since(started),
+	})
 
 	// A nested task is not complete until its children are; propagate the
 	// first child error if the body itself succeeded.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"taskml/internal/cluster"
 	"taskml/internal/graph"
@@ -538,7 +539,7 @@ func TestStatsRecording(t *testing.T) {
 		t.Fatalf("recorded %d stats, want 4", len(stats))
 	}
 	for _, s := range stats {
-		if s.Duration < 0 || s.Queued < 0 {
+		if s.Duration < 0 || s.Queued < 0 || s.WaitDeps < 0 {
 			t.Fatalf("negative timing: %+v", s)
 		}
 	}
@@ -549,6 +550,37 @@ func TestStatsRecording(t *testing.T) {
 	summary := rt.StatsSummary()
 	if !strings.Contains(summary, "work") || !strings.Contains(summary, "other") {
 		t.Fatalf("summary:\n%s", summary)
+	}
+}
+
+// A task blocked on a slow dependency must account that time as WaitDeps,
+// not Queued: the split distinguishes graph stalls from capacity stalls.
+func TestStatsSplitDependencyVsSlotWait(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	rt.EnableStats()
+	slow := rt.Submit(Opts{Name: "slow"}, func(_ *TaskCtx, _ []any) (any, error) {
+		time.Sleep(30 * time.Millisecond)
+		return 1, nil
+	})
+	rt.Submit(Opts{Name: "dep"}, constTask(2), slow)
+	if err := rt.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Stats()
+	var dep *TaskStat
+	for i := range stats {
+		if stats[i].Name == "dep" {
+			dep = &stats[i]
+		}
+	}
+	if dep == nil {
+		t.Fatal("no stat for dependent task")
+	}
+	if dep.WaitDeps < 10*time.Millisecond {
+		t.Fatalf("WaitDeps = %v, want most of the 30ms dependency stall", dep.WaitDeps)
+	}
+	if dep.Queued > dep.WaitDeps {
+		t.Fatalf("Queued (%v) should not exceed WaitDeps (%v) with free workers", dep.Queued, dep.WaitDeps)
 	}
 }
 

@@ -14,7 +14,8 @@ import (
 type TaskStat struct {
 	ID       int
 	Name     string
-	Queued   time.Duration // submission → body start (dependency + slot wait)
+	WaitDeps time.Duration // submission → dependencies resolved
+	Queued   time.Duration // dependencies resolved → body start (worker-slot wait)
 	Duration time.Duration // body execution
 }
 
@@ -55,12 +56,15 @@ func (rt *Runtime) StatsByName() map[string]time.Duration {
 	return out
 }
 
-// StatsSummary renders a per-name profile table sorted by total time.
+// StatsSummary renders a per-name profile table sorted by total execution
+// time, with the aggregate dependency wait (wait) and worker-slot wait
+// (queued) alongside — the split separates "blocked on the graph" from
+// "blocked on capacity".
 func (rt *Runtime) StatsSummary() string {
 	type row struct {
-		name  string
-		total time.Duration
-		count int
+		name                string
+		total, wait, queued time.Duration
+		count               int
 	}
 	agg := map[string]*row{}
 	for _, s := range rt.Stats() {
@@ -70,6 +74,8 @@ func (rt *Runtime) StatsSummary() string {
 			agg[s.Name] = r
 		}
 		r.total += s.Duration
+		r.wait += s.WaitDeps
+		r.queued += s.Queued
 		r.count++
 	}
 	rows := make([]*row, 0, len(agg))
@@ -78,13 +84,14 @@ func (rt *Runtime) StatsSummary() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %8s %12s\n", "task", "total", "count", "mean")
+	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s\n", "task", "total", "count", "mean", "wait", "queued")
 	for _, r := range rows {
 		mean := time.Duration(0)
 		if r.count > 0 {
 			mean = r.total / time.Duration(r.count)
 		}
-		fmt.Fprintf(&b, "%-20s %10s %8d %12s\n", r.name, r.total.Round(time.Microsecond), r.count, mean.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s\n", r.name, r.total.Round(time.Microsecond), r.count,
+			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -50,11 +50,16 @@ func MatMul(a, b *Array) (*Array, error) {
 					if x.Cols != y.Rows {
 						return nil, fmt.Errorf("dsarray: block product %dx%d · %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
 					}
-					return mat.Mul(x, y), nil
+					// Fresh output block: the reduction below merges
+					// partials in place, so each must be exclusively owned
+					// and never alias an input block.
+					p := mat.New(x.Rows, y.Cols)
+					mat.MulAdd(p, x, y)
+					return p, nil
 				}, a.Block(i, k), b.Block(k, j))
 			}
-			out[i][j] = Reduce(tc, "gemm_add", partials, costs.Copy(h, w), costs.Bytes(h, w),
-				func(x, y *mat.Dense) *mat.Dense { return mat.Add(x, y) })
+			out[i][j] = ReduceInPlace(tc, "gemm_add", partials, costs.Copy(h, w), costs.Bytes(h, w),
+				func(dst, src *mat.Dense) { mat.AddInPlace(dst, src) })
 		}
 	}
 	return FromBlocks(tc, out, a.Rows(), b.Cols(), a.BlockRows(), b.BlockCols()), nil

@@ -35,6 +35,54 @@ func TestMatMulMatchesSerial(t *testing.T) {
 	}
 }
 
+// The gemm_add reduction merges partial products in place; that must never
+// reach backwards into the input arrays' blocks, even when an operand is
+// reused across several products (block sharing) or a row/column strip has a
+// single shared-dimension block (kb == 1, where the output block future IS
+// the gemm_block partial).
+func TestMatMulDoesNotMutateSharedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rt := newRT()
+	am := randMatrix(rng, 6, 4)
+	bm := randMatrix(rng, 4, 6)
+	da := FromMatrix(rt.Main(), am, 3, 4) // single block on the shared dim: kb == 1
+	db := FromMatrix(rt.Main(), bm, 4, 3)
+
+	p1, err := MatMul(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := p1.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run the same product from the same (possibly shared) block futures.
+	p2, err := MatMul(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mat.Mul(am, bm)
+	if !mat.Equal(g1, want, 1e-9) || !mat.Equal(g2, g1, 0) {
+		t.Fatal("repeated MatMul over shared blocks disagrees")
+	}
+	// The operands themselves must be untouched.
+	ca, err := da.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := db.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(ca, am, 0) || !mat.Equal(cb, bm, 0) {
+		t.Fatal("MatMul mutated an input array block")
+	}
+}
+
 func TestMatMulShapeErrors(t *testing.T) {
 	rt := newRT()
 	a := FromMatrix(rt.Main(), mat.New(4, 3), 2, 3)

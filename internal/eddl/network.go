@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"taskml/internal/mat"
+	"taskml/internal/par"
 )
 
 // Layer is one differentiable stage. Forward caches whatever Backward
@@ -86,26 +87,30 @@ func (c *Conv1D) Forward(x *mat.Dense) *mat.Dense {
 	c.lastX = x
 	lout := c.OutLen()
 	out := mat.New(x.Rows, c.OutChannels*lout)
-	for bi := 0; bi < x.Rows; bi++ {
-		xr := x.Row(bi)
-		or := out.Row(bi)
-		for co := 0; co < c.OutChannels; co++ {
-			wr := c.w.W.Row(co)
-			bias := c.b.W.At(0, co)
-			for t := 0; t < lout; t++ {
-				s := bias
-				base := t * c.Stride
-				for ci := 0; ci < c.InChannels; ci++ {
-					xoff := ci*c.InLen + base
-					woff := ci * c.Kernel
-					for k := 0; k < c.Kernel; k++ {
-						s += wr[woff+k] * xr[xoff+k]
+	// Samples are independent (disjoint output rows, read-only x and
+	// weights), so the batch dimension parallelises over internal/par; the
+	// window product is the shared unrolled Dot micro-kernel.
+	grain := 1 + (1<<14)/(int(c.FwdFlops())+1)
+	par.For(x.Rows, grain, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			xr := x.Row(bi)
+			or := out.Row(bi)
+			for co := 0; co < c.OutChannels; co++ {
+				wr := c.w.W.Row(co)
+				bias := c.b.W.At(0, co)
+				for t := 0; t < lout; t++ {
+					s := bias
+					base := t * c.Stride
+					for ci := 0; ci < c.InChannels; ci++ {
+						xoff := ci*c.InLen + base
+						woff := ci * c.Kernel
+						s += mat.Dot(wr[woff:woff+c.Kernel], xr[xoff:])
 					}
+					or[co*lout+t] = s
 				}
-				or[co*lout+t] = s
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -131,10 +136,8 @@ func (c *Conv1D) Backward(grad *mat.Dense) *mat.Dense {
 				for ci := 0; ci < c.InChannels; ci++ {
 					xoff := ci*c.InLen + base
 					woff := ci * c.Kernel
-					for k := 0; k < c.Kernel; k++ {
-						gwr[woff+k] += g * xr[xoff+k]
-						dxr[xoff+k] += g * wr[woff+k]
-					}
+					mat.Axpy(g, xr[xoff:xoff+c.Kernel], gwr[woff:])
+					mat.Axpy(g, wr[woff:woff+c.Kernel], dxr[xoff:])
 				}
 			}
 			c.b.Grad.Set(0, co, c.b.Grad.At(0, co)+db)
@@ -189,7 +192,7 @@ func (d *Dense) Forward(x *mat.Dense) *mat.Dense {
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *mat.Dense) *mat.Dense {
-	mat.AddInPlace(d.w.Grad, mat.MulAtB(d.lastX, grad))
+	mat.MulAtBAdd(d.w.Grad, d.lastX, grad) // accumulate xᵀ·grad without a temporary
 	for bi := 0; bi < grad.Rows; bi++ {
 		row := grad.Row(bi)
 		for j, g := range row {

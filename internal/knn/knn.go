@@ -15,6 +15,7 @@ import (
 	"taskml/internal/costs"
 	"taskml/internal/dsarray"
 	"taskml/internal/mat"
+	"taskml/internal/par"
 )
 
 // Weighting selects how neighbor votes are combined, matching the method's
@@ -53,12 +54,26 @@ func (p Params) withDefaults() Params {
 }
 
 // nnBlock is the fitted per-row-block structure: the stored samples, their
-// labels, and the block's global row offset (so neighbor indices are
-// dataset-global).
+// labels, the block's global row offset (so neighbor indices are
+// dataset-global), and the cached squared row norms that let queries use the
+// GEMM distance expansion ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·t.
 type nnBlock struct {
 	x      *mat.Dense
 	labels []int
 	offset int
+	norms  []float64
+}
+
+// rowNorms returns ‖row‖² for every row of x, via the same Dot kernel the
+// GEMM path uses (this keeps d² exactly zero for identical vectors: the
+// three terms of the expansion are then bitwise-equal dot products).
+func rowNorms(x *mat.Dense) []float64 {
+	n := make([]float64, x.Rows)
+	for i := range n {
+		row := x.Row(i)
+		n[i] = mat.Dot(row, row)
+	}
+	return n
 }
 
 // ErrNotFitted is returned by queries before Fit.
@@ -106,7 +121,7 @@ func (m *KNN) Fit(x, y *dsarray.Array) error {
 			if blk.Rows != lbl.Rows {
 				return nil, fmt.Errorf("knn: block rows %d vs labels %d", blk.Rows, lbl.Rows)
 			}
-			return &nnBlock{x: blk, labels: dsarray.LabelsToInts(lbl), offset: offset}, nil
+			return &nnBlock{x: blk, labels: dsarray.LabelsToInts(lbl), offset: offset, norms: rowNorms(blk)}, nil
 		}, x.RowBlock(i), y.RowBlock(i))
 	}
 	m.dims = x.Cols()
@@ -122,34 +137,93 @@ type neighbor struct {
 	label int
 }
 
-// queryBlock scans every fitted block for the k nearest neighbors of each
-// row in q.
+// worseNeighbor reports whether a ranks after b: larger squared distance, or
+// equal distance and larger global index. This is the inverse of the
+// (d2, idx)-ascending result order, so a worst-first heap rooted at the
+// worst of the current k-best reproduces a full sort's top-k exactly,
+// tie-breaks included.
+func worseNeighbor(a, b neighbor) bool {
+	if a.d2 != b.d2 {
+		return a.d2 > b.d2
+	}
+	return a.idx > b.idx
+}
+
+// kheap is a bounded worst-first binary heap over neighbors. Offering a
+// candidate against a full heap costs O(log k) and leaves the k best seen so
+// far, instead of the O(n log n) sort over every candidate the naive scan
+// needed.
+type kheap []neighbor
+
+func (h *kheap) offer(n neighbor, k int) {
+	nb := *h
+	if len(nb) < k {
+		nb = append(nb, n)
+		i := len(nb) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worseNeighbor(nb[i], nb[p]) {
+				break
+			}
+			nb[i], nb[p] = nb[p], nb[i]
+			i = p
+		}
+		*h = nb
+		return
+	}
+	if k == 0 || !worseNeighbor(nb[0], n) {
+		return // no better than the current worst of the k best
+	}
+	nb[0] = n
+	i := 0
+	for {
+		w := i
+		if l := 2*i + 1; l < len(nb) && worseNeighbor(nb[l], nb[w]) {
+			w = l
+		}
+		if r := 2*i + 2; r < len(nb) && worseNeighbor(nb[r], nb[w]) {
+			w = r
+		}
+		if w == i {
+			break
+		}
+		nb[i], nb[w] = nb[w], nb[i]
+		i = w
+	}
+}
+
+// queryBlock finds the k nearest neighbors of each row in q across every
+// fitted block, using the blocked-GEMM distance formulation:
+// ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·tᵀ. The cross term is one mat.MulABt per
+// fitted block (cache-blocked and parallel), the norms are cached at fit
+// time, and per-row k-best selection goes through a bounded heap.
 func queryBlock(q *mat.Dense, fitted []*nnBlock, k int) [][]neighbor {
-	out := make([][]neighbor, q.Rows)
-	for r := 0; r < q.Rows; r++ {
-		row := q.Row(r)
-		var cand []neighbor
-		for _, fb := range fitted {
-			for i := 0; i < fb.x.Rows; i++ {
-				t := fb.x.Row(i)
-				var d2 float64
-				for c, v := range row {
-					diff := v - t[c]
-					d2 += diff * diff
+	qn := rowNorms(q)
+	heaps := make([]kheap, q.Rows)
+	for _, fb := range fitted {
+		g := mat.MulABt(q, fb.x)
+		// Rows are independent (disjoint heaps, read-only g), so the
+		// selection sweep parallelises; grain keeps a chunk at a few
+		// thousand candidate updates.
+		grain := 1 + (1<<13)/(fb.x.Rows+1)
+		par.For(q.Rows, grain, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				grow := g.Row(r)
+				for i, gv := range grow {
+					d2 := qn[r] + fb.norms[i] - 2*gv
+					if d2 < 0 {
+						d2 = 0 // guard the expansion against negative round-off
+					}
+					heaps[r].offer(neighbor{d2: d2, idx: fb.offset + i, label: fb.labels[i]}, k)
 				}
-				cand = append(cand, neighbor{d2: d2, idx: fb.offset + i, label: fb.labels[i]})
 			}
-		}
-		sort.Slice(cand, func(a, b int) bool {
-			if cand[a].d2 != cand[b].d2 {
-				return cand[a].d2 < cand[b].d2
-			}
-			return cand[a].idx < cand[b].idx
 		})
-		if len(cand) > k {
-			cand = cand[:k]
-		}
-		out[r] = cand
+	}
+	out := make([][]neighbor, q.Rows)
+	for r := range heaps {
+		nb := []neighbor(heaps[r])
+		sort.Slice(nb, func(a, b int) bool { return worseNeighbor(nb[b], nb[a]) })
+		out[r] = nb
 	}
 	return out
 }

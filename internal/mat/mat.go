@@ -3,15 +3,22 @@
 // products, and a symmetric eigendecomposition (the replacement for
 // numpy.linalg.eigh used by the PCA covariance method in the paper).
 //
-// The package is deliberately dependency-free and single-threaded: all
-// parallelism in taskml is expressed at the task level (internal/compss),
-// mirroring how dislib runs serial NumPy kernels inside PyCOMPSs tasks.
+// The hot kernels (Mul, MulAtB, MulABt, MulVec, the Jacobi rotations of
+// EigSym) are cache-blocked and row-band parallel on the bounded
+// internal/par pool, sharing the unrolled Dot/Axpy micro-kernels in
+// kernels.go. Kernel parallelism composes with the task-level parallelism
+// of internal/compss through par.SetLimit — see the par package comment for
+// the oversubscription contract. At par.SetLimit(1) every kernel runs
+// serially on its caller, mirroring how dislib runs serial NumPy kernels
+// inside PyCOMPSs tasks.
 package mat
 
 import (
 	"errors"
 	"fmt"
 	"math"
+
+	"taskml/internal/par"
 )
 
 // Dense is a row-major dense matrix of float64.
@@ -161,30 +168,14 @@ func checkSameShape(op string, a, b *Dense) {
 	}
 }
 
-// Mul computes the matrix product a·b.
-//
-// The kernel uses the ikj loop order so the innermost loop streams through
-// contiguous rows of b and out, which is the standard cache-friendly layout
-// for row-major storage.
+// Mul computes the matrix product a·b with the cache-blocked,
+// row-band-parallel GEMM kernel (see MulAdd in kernels.go).
 func Mul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += aik * bv
-			}
-		}
-	}
+	MulAdd(out, a, b)
 	return out
 }
 
@@ -195,19 +186,7 @@ func MulAtB(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MulAtB shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MulAtBAdd(out, a, b)
 	return out
 }
 
@@ -218,18 +197,7 @@ func MulABt(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("mat: MulABt shape mismatch %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
+	MulABtAdd(out, a, b)
 	return out
 }
 
@@ -239,14 +207,11 @@ func MulVec(a *Dense, x []float64) []float64 {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d", a.Rows, a.Cols, len(x)))
 	}
 	out := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
+	par.For(a.Rows, rowGrain(a.Rows, 2*float64(a.Cols)), func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			out[i] = Dot(a.Row(i), x)
 		}
-		out[i] = s
-	}
+	})
 	return out
 }
 
@@ -358,13 +323,10 @@ func TakeRows(m *Dense, idx []int) *Dense {
 	return out
 }
 
-// Norm2 returns the Euclidean (Frobenius) norm of the matrix elements.
+// Norm2 returns the Euclidean (Frobenius) norm of the matrix elements,
+// through the shared unrolled dot micro-kernel.
 func Norm2(m *Dense) float64 {
-	var s float64
-	for _, v := range m.Data {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(Dot(m.Data, m.Data))
 }
 
 // ErrNotConverged is returned by iterative solvers that exhaust their sweep
@@ -448,25 +410,41 @@ func EigSym(a *Dense) (vals []float64, vecs *Dense, err error) {
 	return sortedVals, sortedVecs, err
 }
 
+// rotateGrain is the minimum row-chunk per goroutine when a Jacobi rotation
+// is applied in parallel: a rotation is O(n) work, so only large matrices
+// (the wide-feature PCA covariances) clear it; small ones run serially.
+const rotateGrain = 384
+
 // rotate applies the Jacobi rotation J(p,q,c,s) as w ← JᵀwJ and accumulates
-// it into the eigenvector matrix v ← vJ.
+// it into the eigenvector matrix v ← vJ. The column update (pass 1) must
+// fully precede the row update (pass 2) because the row pass reads the
+// rotated 2×2 pivot block; within a pass every k is independent, so each
+// pass is chunk-parallel across k. The eigenvector column update is
+// independent of w and rides in the second pass. The arithmetic per element
+// is identical to the serial form, so results are bit-for-bit equal
+// regardless of the chunking.
 func rotate(w, v *Dense, p, q int, c, s float64) {
 	n := w.Rows
-	for k := 0; k < n; k++ {
-		wkp, wkq := w.At(k, p), w.At(k, q)
-		w.Set(k, p, c*wkp-s*wkq)
-		w.Set(k, q, s*wkp+c*wkq)
-	}
-	for k := 0; k < n; k++ {
-		wpk, wqk := w.At(p, k), w.At(q, k)
-		w.Set(p, k, c*wpk-s*wqk)
-		w.Set(q, k, s*wpk+c*wqk)
-	}
-	for k := 0; k < n; k++ {
-		vkp, vkq := v.At(k, p), v.At(k, q)
-		v.Set(k, p, c*vkp-s*vkq)
-		v.Set(k, q, s*vkp+c*vkq)
-	}
+	par.For(n, rotateGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			wkp, wkq := w.At(k, p), w.At(k, q)
+			w.Set(k, p, c*wkp-s*wkq)
+			w.Set(k, q, s*wkp+c*wkq)
+		}
+	})
+	par.For(n, rotateGrain, func(lo, hi int) {
+		prow, qrow := w.Row(p), w.Row(q)
+		for k := lo; k < hi; k++ {
+			wpk, wqk := prow[k], qrow[k]
+			prow[k] = c*wpk - s*wqk
+			qrow[k] = s*wpk + c*wqk
+		}
+		for k := lo; k < hi; k++ {
+			vkp, vkq := v.At(k, p), v.At(k, q)
+			v.Set(k, p, c*vkp-s*vkq)
+			v.Set(k, q, s*vkp+c*vkq)
+		}
+	})
 }
 
 func offDiagNorm(m *Dense) float64 {

@@ -1,0 +1,194 @@
+// Package par is the shared intra-task parallelism layer under the numeric
+// kernels (internal/mat, internal/sigproc, internal/knn): a bounded global
+// helper pool behind two primitives, For (chunked parallel loops) and Do
+// (parallel thunks).
+//
+// # The oversubscription contract
+//
+// Kernel parallelism must compose with the task-level parallelism of
+// internal/compss: a runtime with Config.Workers = W runs W task bodies
+// concurrently, and if every body ran a kernel on its own GOMAXPROCS-wide
+// pool the machine would execute W×P runnable goroutines. par bounds the
+// *sum* instead:
+//
+//   - SetLimit(L) caps the kernel layer at L concurrently running
+//     goroutines in total, across every For/Do in the process. L-1 helper
+//     tokens live in one global pool; each parallel region additionally
+//     runs on its calling goroutine.
+//   - Token acquisition never blocks. A kernel that finds the pool drained
+//     simply runs its chunks on the caller — so a wide top-level caller
+//     (a CLI building features on the master) and many task bodies can
+//     share one limit without deadlock or oversubscription: total kernel
+//     concurrency ≤ callers + L - 1.
+//
+// The conventions, then: top-level single-stream programs (cmd/*, feature
+// extraction on the master) leave the default limit (GOMAXPROCS) so one
+// kernel call uses the whole machine; programs about to drive a wide
+// compss.Runtime drop the kernel layer to SetLimit(1) so the task pool owns
+// the cores. SetLimit(1) makes every For/Do run serially on its caller,
+// with no goroutine or channel traffic on the hot path.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the process-global helper-token pool. Helpers borrow a token for
+// the duration of one parallel region and return it when the region drains.
+type pool struct {
+	limit  int
+	tokens chan struct{}
+}
+
+var current atomic.Pointer[pool]
+
+func init() {
+	SetLimit(runtime.GOMAXPROCS(0))
+}
+
+// SetLimit caps the kernel layer at n concurrently running goroutines
+// (callers included) process-wide. n < 1 is treated as 1: fully serial.
+// Regions already running keep the tokens they hold; the new limit governs
+// every region entered afterwards.
+func SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{limit: n, tokens: make(chan struct{}, n-1)}
+	for i := 0; i < n-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	current.Store(p)
+}
+
+// Limit returns the current kernel-parallelism cap.
+func Limit() int { return current.Load().limit }
+
+// firstPanic captures the first panic raised inside a parallel region so it
+// can be re-raised on the calling goroutine (matching the containment
+// behaviour kernels have when run serially: compss task bodies recover
+// panics, which only works if the panic surfaces on the body's goroutine).
+type firstPanic struct {
+	once sync.Once
+	val  any
+}
+
+func (f *firstPanic) capture() {
+	if r := recover(); r != nil {
+		f.once.Do(func() { f.val = r })
+	}
+}
+
+func (f *firstPanic) rethrow() {
+	if f.val != nil {
+		panic(fmt.Sprintf("par: panic in parallel region: %v", f.val))
+	}
+}
+
+// For runs fn over the half-open chunks of [0, n): fn(lo, hi), covering
+// every index exactly once. Chunks execute on the caller plus however many
+// helper tokens are free (never more than chunks-1); with a drained pool or
+// Limit() == 1 the loop degenerates to a single fn(0, n) call on the
+// caller, so fn must accept ranges wider than grain. fn must be safe to
+// call concurrently on disjoint ranges.
+//
+// grain is the smallest unit worth shipping to another goroutine — pick it
+// so one chunk is ≥ a few microseconds of work.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	p := current.Load()
+	if chunks == 1 || p.limit == 1 {
+		fn(0, n)
+		return
+	}
+
+	var next int64
+	var pan firstPanic
+	work := func() {
+		defer pan.capture()
+		for {
+			c := atomic.AddInt64(&next, 1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < chunks-1; spawned++ {
+		select {
+		case <-p.tokens:
+		default:
+			spawned = chunks // pool drained: run the rest on the caller
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { p.tokens <- struct{}{} }()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	pan.rethrow()
+}
+
+// Do runs the thunks, concurrently when helper tokens are free, and returns
+// when all have completed. With Limit() == 1 (or a drained pool) the thunks
+// run sequentially on the caller.
+func Do(thunks ...func()) {
+	switch len(thunks) {
+	case 0:
+		return
+	case 1:
+		thunks[0]()
+		return
+	}
+	var next int64
+	var pan firstPanic
+	work := func() {
+		defer pan.capture()
+		for {
+			c := atomic.AddInt64(&next, 1) - 1
+			if c >= int64(len(thunks)) {
+				return
+			}
+			thunks[c]()
+		}
+	}
+	p := current.Load()
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < len(thunks)-1; spawned++ {
+		select {
+		case <-p.tokens:
+		default:
+			spawned = len(thunks)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { p.tokens <- struct{}{} }()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	pan.rethrow()
+}

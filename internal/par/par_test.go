@@ -1,0 +1,164 @@
+package par
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// restoreLimit resets the global pool after tests that change it.
+func restoreLimit(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { SetLimit(runtime.GOMAXPROCS(0)) })
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	restoreLimit(t)
+	for _, limit := range []int{1, 2, 8} {
+		SetLimit(limit)
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 2000} {
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("limit=%d n=%d grain=%d: index %d visited %d times", limit, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDoRunsEveryThunk(t *testing.T) {
+	restoreLimit(t)
+	for _, limit := range []int{1, 4} {
+		SetLimit(limit)
+		var ran [9]int32
+		thunks := make([]func(), len(ran))
+		for i := range thunks {
+			i := i
+			thunks[i] = func() { atomic.AddInt32(&ran[i], 1) }
+		}
+		Do(thunks...)
+		for i, r := range ran {
+			if r != 1 {
+				t.Fatalf("limit=%d: thunk %d ran %d times", limit, i, r)
+			}
+		}
+	}
+	Do() // zero thunks must be a no-op
+}
+
+func TestSetLimitBoundsConcurrency(t *testing.T) {
+	restoreLimit(t)
+	const limit = 3
+	SetLimit(limit)
+	var inFlight, peak int32
+	For(256, 1, func(lo, hi int) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		for i := 0; i < 2000; i++ { // keep the chunk alive long enough to overlap
+			_ = i * i
+		}
+		atomic.AddInt32(&inFlight, -1)
+	})
+	if peak > limit {
+		t.Fatalf("observed %d concurrent chunks, limit %d", peak, limit)
+	}
+}
+
+func TestLimitOneIsSerialOnCaller(t *testing.T) {
+	restoreLimit(t)
+	SetLimit(1)
+	if Limit() != 1 {
+		t.Fatalf("Limit() = %d", Limit())
+	}
+	var order []int
+	For(10, 3, func(lo, hi int) { order = append(order, lo) }) // unsynchronised: must be single-goroutine
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("chunks out of order under limit 1: %v", order)
+		}
+	}
+}
+
+func TestNestedForComposesWithoutDeadlock(t *testing.T) {
+	restoreLimit(t)
+	SetLimit(2)
+	var total int64
+	For(8, 1, func(lo, hi int) {
+		For(100, 10, func(l, h int) {
+			atomic.AddInt64(&total, int64(h-l))
+		})
+	})
+	if total != 800 {
+		t.Fatalf("nested total = %d, want 800", total)
+	}
+}
+
+// Many goroutines (as the compss worker pool would) hammering For at once:
+// the global pool must stay bounded and every loop must still complete.
+func TestConcurrentCallersShareOnePool(t *testing.T) {
+	restoreLimit(t)
+	SetLimit(4)
+	var wg sync.WaitGroup
+	var grand int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			For(500, 7, func(lo, hi int) {
+				atomic.AddInt64(&local, int64(hi-lo))
+			})
+			atomic.AddInt64(&grand, local)
+		}()
+	}
+	wg.Wait()
+	if grand != 16*500 {
+		t.Fatalf("grand total = %d, want %d", grand, 16*500)
+	}
+}
+
+func TestForPanicSurfacesOnCaller(t *testing.T) {
+	restoreLimit(t)
+	SetLimit(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the chunk panic to re-surface on the caller")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	For(64, 1, func(lo, hi int) {
+		if lo == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetLimitFloorsAtOne(t *testing.T) {
+	restoreLimit(t)
+	SetLimit(-5)
+	if Limit() != 1 {
+		t.Fatalf("Limit() = %d, want 1", Limit())
+	}
+	For(4, 1, func(lo, hi int) {})
+}

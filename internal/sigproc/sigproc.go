@@ -12,6 +12,7 @@ import (
 	"math/cmplx"
 
 	"taskml/internal/mat"
+	"taskml/internal/par"
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
@@ -169,22 +170,29 @@ func Spectrogram(x []float64, c SpectrogramConfig) (*mat.Dense, []float64, []flo
 
 	nb := c.NumBins()
 	out := mat.New(nb, nseg)
-	buf := make([]complex128, c.WindowSize)
-	for s := 0; s < nseg; s++ {
-		off := s * hop
-		for i := 0; i < c.WindowSize; i++ {
-			buf[i] = complex(x[off+i]*win[i], 0)
-		}
-		spec := FFT(buf)
-		for b := 0; b < nb; b++ {
-			p := real(spec[b])*real(spec[b]) + imag(spec[b])*imag(spec[b])
-			p *= scale
-			if b != 0 && b != c.WindowSize/2 {
-				p *= 2 // one-sided: fold the negative frequencies
+	// Segments are independent: each chunk gets its own window buffer and
+	// writes a disjoint set of output columns, so the loop parallelises
+	// cleanly over internal/par. Grain keeps a chunk at ≥ a few thousand
+	// butterfly operations.
+	grain := 1 + (1<<13)/c.WindowSize
+	par.For(nseg, grain, func(lo, hi int) {
+		buf := make([]complex128, c.WindowSize)
+		for s := lo; s < hi; s++ {
+			off := s * hop
+			for i := 0; i < c.WindowSize; i++ {
+				buf[i] = complex(x[off+i]*win[i], 0)
 			}
-			out.Set(b, s, p)
+			spec := FFT(buf)
+			for b := 0; b < nb; b++ {
+				p := real(spec[b])*real(spec[b]) + imag(spec[b])*imag(spec[b])
+				p *= scale
+				if b != 0 && b != c.WindowSize/2 {
+					p *= 2 // one-sided: fold the negative frequencies
+				}
+				out.Set(b, s, p)
+			}
 		}
-	}
+	})
 
 	freqs := make([]float64, nb)
 	for b := range freqs {

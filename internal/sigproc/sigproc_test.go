@@ -4,8 +4,13 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"taskml/internal/mat"
+	"taskml/internal/par"
 )
 
 // naiveDFT is the O(n²) reference the FFT is validated against.
@@ -130,12 +135,23 @@ func TestFFTDoesNotModifyInput(t *testing.T) {
 }
 
 func TestFFTNonPow2Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
-		}
-	}()
-	FFT(make([]complex128, 6))
+	// A silent wrong answer here would corrupt every downstream feature, so
+	// the guard must fire with a message that names the bad length.
+	for _, n := range []int{3, 6, 100} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("FFT(len %d): want panic", n)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "not a power of two") {
+					t.Fatalf("FFT(len %d): panic %v lacks diagnostic message", n, r)
+				}
+			}()
+			FFT(make([]complex128, n))
+		}()
+	}
 }
 
 func TestHannWindow(t *testing.T) {
@@ -283,6 +299,32 @@ func TestFlattenLengthAndOrder(t *testing.T) {
 	flat[0] = 12345
 	if m.Data[0] == 12345 {
 		t.Fatal("Flatten aliases the spectrogram")
+	}
+}
+
+// The STFT segments are computed in parallel chunks; the result must be
+// bit-for-bit the same as the serial sweep (each segment's arithmetic is
+// untouched by the chunking).
+func TestSpectrogramBitIdenticalAcrossLimits(t *testing.T) {
+	defer par.SetLimit(runtime.GOMAXPROCS(0))
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	c := SpectrogramConfig{Fs: 300, WindowSize: 128, Overlap: 64}
+	par.SetLimit(1)
+	serial, _, _, err := Spectrogram(x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetLimit(8)
+	parallel, _, _, err := Spectrogram(x, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(serial, parallel, 0) {
+		t.Fatal("parallel spectrogram differs from serial")
 	}
 }
 

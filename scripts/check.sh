@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repository gate: vet, build everything, then run the full test suite under
+# the race detector. The kernel layer (internal/par) spawns goroutines inside
+# numeric code, so -race is part of the definition of "passing" here, not an
+# optional extra.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
