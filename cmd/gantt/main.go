@@ -9,6 +9,8 @@
 //
 //	gantt -model csvm -nodes 2            # phase breakdown on 2 MN4 nodes
 //	gantt -model cnn -nodes 5 -csv > g.csv
+//	gantt -model rf -nodes 2 -faults 9    # replay with injected failures;
+//	                                      # lost attempts appear as name!k rows
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"taskml/internal/cluster"
+	"taskml/internal/compss"
 	"taskml/internal/core"
 	"taskml/internal/eddl"
 	"taskml/internal/par"
@@ -28,6 +31,9 @@ func main() {
 	nodes := flag.Int("nodes", 2, "virtual cluster nodes (MareNostrum4 for classical models, CTE-Power for the CNN)")
 	samples := flag.Int("samples", 300, "dataset rows for the captured instance")
 	csv := flag.Bool("csv", false, "emit the schedule as CSV (task,name,node,start,end) instead of the breakdown")
+	faults := flag.Int("faults", 0, "inject a first-attempt failure into every Nth task (0 disables)")
+	retries := flag.Int("retries", 2, "per-task retry budget when -faults is set")
+	backoff := flag.Float64("backoff", 5, "virtual-time retry backoff base in seconds")
 	flag.Parse()
 
 	ds, err := core.BuildDataset(core.DataConfig{
@@ -50,6 +56,13 @@ func main() {
 		BlockCols: ds.X.Cols,
 		CSVM:      svm.CascadeParams{Iterations: 2},
 		CNNTrain:  eddl.TrainConfig{Folds: 5, Epochs: 7, Workers: 4},
+	}
+	if *faults > 0 {
+		cfg.Faults = &compss.FaultPlan{Faults: []compss.Fault{
+			{EveryNth: *faults, Attempts: 1, Mode: compss.FaultError, AtFraction: 0.5},
+		}}
+		cfg.Retries = *retries
+		cfg.RetryBackoff = *backoff
 	}
 	m := core.Model(*model)
 	isCNN := *model == "cnn" || *model == "cnn-nested"
@@ -84,6 +97,10 @@ func main() {
 	fmt.Printf("serialized tail (<2 concurrent tasks): %.0f%% of the makespan\n\n",
 		100*s.CriticalTail(2))
 	fmt.Print(s.BreakdownTable(g))
+	if len(s.FailedAttempts) > 0 {
+		fmt.Println()
+		fmt.Print(s.RecoverySummary(g))
+	}
 }
 
 func humanBytes(b int64) string {

@@ -18,6 +18,14 @@
 //	scaling -exp rf     # Figure 11c
 //	scaling -exp cnn    # Figure 12
 //	scaling -exp pca    # the ≈850 s PCA stage the paper excludes
+//
+// The -faults sweep injects a deterministic failure into the first attempt
+// of every Nth task of the model workflow (retried under the runtime's
+// fault-tolerance layer) and reports the recovery overhead of the replayed
+// schedule against the fault-free baseline:
+//
+//	scaling -exp csvm -faults 7              # kill task 0, 7, 14, ...
+//	scaling -exp rf -faults 5 -retries 3
 package main
 
 import (
@@ -61,10 +69,44 @@ const (
 	CNNDistributeScale = 12
 )
 
+// ft holds the fault-injection settings shared by the experiment runners;
+// filled from flags in main. every == 0 disables injection.
+var ft struct {
+	every   int
+	retries int
+	backoff float64
+}
+
+// faultPlan returns the injection plan for the model workflow, or nil when
+// -faults is off: the first attempt of every Nth task (by graph ID) fails
+// halfway through its virtual cost.
+func faultPlan() *compss.FaultPlan {
+	if ft.every <= 0 {
+		return nil
+	}
+	return &compss.FaultPlan{Faults: []compss.Fault{
+		{EveryNth: ft.every, Attempts: 1, Mode: compss.FaultError, AtFraction: 0.5},
+	}}
+}
+
+// withFaults applies the -faults settings to a pipeline configuration.
+func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
+	if ft.every <= 0 {
+		return cfg
+	}
+	cfg.Faults = faultPlan()
+	cfg.Retries = ft.retries
+	cfg.RetryBackoff = ft.backoff
+	return cfg
+}
+
 func main() {
 	exp := flag.String("exp", "csvm", "experiment: csvm | knn | rf | cnn | pca")
 	samples := flag.Int("samples", 1200, "dataset rows (after balancing)")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.IntVar(&ft.every, "faults", 0, "inject a first-attempt failure into every Nth task of the model workflow (0 disables)")
+	flag.IntVar(&ft.retries, "retries", 2, "per-task retry budget when -faults is set")
+	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (attempt k waits backoff·2^k)")
 	flag.Parse()
 
 	fmt.Printf("generating dataset (%d rows)...\n", *samples)
@@ -115,6 +157,10 @@ func main() {
 }
 
 func sweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
+	if len(g.FailureEvents()) > 0 {
+		faultSweepTable(title, g, configs)
+		return
+	}
 	fmt.Printf("=== %s (%d tasks, critical path %.1f s, total work %.1f s)\n",
 		title, g.Len(), g.CriticalPath(), g.TotalCost())
 	fmt.Printf("%8s %8s %12s %10s %12s\n", "nodes", "cores", "time (s)", "speedup", "utilization")
@@ -133,15 +179,50 @@ func sweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
 	fmt.Println()
 }
 
+// faultSweepTable compares the fault-injected replay against the fault-free
+// baseline of the same graph on every cluster size: the overhead column is
+// the recovery cost (retried attempts + backoff + re-transfers) the
+// schedule pays.
+func faultSweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
+	clean := g.WithoutFailures()
+	events := g.FailureEvents()
+	fmt.Printf("=== %s (%d tasks, %d injected failures, %d degraded)\n",
+		title, g.Len(), len(events), len(g.DegradedTasks()))
+	fmt.Printf("%8s %8s %12s %12s %10s %12s\n",
+		"nodes", "cores", "clean (s)", "faulty (s)", "overhead", "wasted (c·s)")
+	var last *cluster.Schedule
+	for _, c := range configs {
+		s0, err := cluster.ScheduleGraph(clean, c)
+		if err != nil {
+			fatal(err)
+		}
+		s1, err := cluster.ScheduleGraph(g, c)
+		if err != nil {
+			fatal(err)
+		}
+		overhead := 0.0
+		if s0.Makespan > 0 {
+			overhead = 100 * (s1.Makespan - s0.Makespan) / s0.Makespan
+		}
+		fmt.Printf("%8d %8d %12.2f %12.2f %9.1f%% %12.2f\n",
+			len(c.Nodes), c.TotalCores(), s0.Makespan, s1.Makespan, overhead, s1.WastedCoreSeconds)
+		last = s1
+	}
+	if last != nil {
+		fmt.Print(last.RecoverySummary(g))
+	}
+	fmt.Println()
+}
+
 // runCSVM regenerates Figure 11a: the paper runs 6 tasks per node, each
 // using 8 cores, and sees improvements up to 192 cores.
 func runCSVM(x *mat.Dense, y []int, seed int64) {
-	rt, err := core.TrainGraph(core.ModelCSVM, x, y, core.PipelineConfig{
+	rt, err := core.TrainGraph(core.ModelCSVM, x, y, withFaults(core.PipelineConfig{
 		Seed:      seed,
 		BlockRows: 50, // ~24 row blocks: the first cascade layer
 		BlockCols: x.Cols,
 		CSVM:      svm.CascadeParams{CoresPerTask: 8, Iterations: 3},
-	})
+	}))
 	if err != nil {
 		fatal(err)
 	}
@@ -155,11 +236,11 @@ func runCSVM(x *mat.Dense, y []int, seed int64) {
 // runKNN regenerates Figure 11b: StandardScaler + KNN fit, 250×250-style
 // blocking (scaled to the dataset).
 func runKNN(x *mat.Dense, y []int, seed int64) {
-	rt, err := core.TrainGraph(core.ModelKNN, x, y, core.PipelineConfig{
+	rt, err := core.TrainGraph(core.ModelKNN, x, y, withFaults(core.PipelineConfig{
 		Seed:      seed,
 		BlockRows: 25, // small blocks: parallelism bound by block count
 		BlockCols: (x.Cols + 1) / 2,
-	})
+	}))
 	if err != nil {
 		fatal(err)
 	}
@@ -173,11 +254,11 @@ func runKNN(x *mat.Dense, y []int, seed int64) {
 // runRF regenerates Figure 11c: 40 estimators; the paper observes poor,
 // erratic scaling (few tasks, load imbalance, extra transfers at 3 nodes).
 func runRF(x *mat.Dense, y []int, seed int64) {
-	rt, err := core.TrainGraph(core.ModelRF, x, y, core.PipelineConfig{
+	rt, err := core.TrainGraph(core.ModelRF, x, y, withFaults(core.PipelineConfig{
 		Seed:      seed,
 		BlockRows: 100,
 		BlockCols: x.Cols,
-	})
+	}))
 	if err != nil {
 		fatal(err)
 	}
@@ -205,17 +286,18 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 	fmt.Printf("%-36s %12s %10s\n", "configuration", "time (s)", "speedup")
 	var base float64
 	for _, v := range variants {
-		rt, err := core.TrainGraph(core.ModelCNN, x, y, core.PipelineConfig{
+		rt, err := core.TrainGraph(core.ModelCNN, x, y, withFaults(core.PipelineConfig{
 			Seed:      seed,
 			CNNNested: v.nested,
 			CNNTrain: eddl.TrainConfig{GPUsPerTask: v.gpus, Epochs: 7, Workers: 4, Folds: 5,
 				ComputeScale: CNNComputeScale, PayloadScale: CNNPayloadScale,
 				DistributeScale: CNNDistributeScale},
-		})
+		}))
 		if err != nil {
 			fatal(err)
 		}
-		s, err := cluster.ScheduleGraph(rt.Graph(), v.cluster)
+		g := rt.Graph()
+		s, err := cluster.ScheduleGraph(g, v.cluster)
 		if err != nil {
 			fatal(err)
 		}
@@ -223,6 +305,17 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 			base = s.Makespan
 		}
 		fmt.Printf("%-36s %12.2f %9.2fx\n", v.label, s.Makespan, base/s.Makespan)
+		if len(g.FailureEvents()) > 0 {
+			s0, err := cluster.ScheduleGraph(g.WithoutFailures(), v.cluster)
+			if err != nil {
+				fatal(err)
+			}
+			overhead := 0.0
+			if s0.Makespan > 0 {
+				overhead = 100 * (s.Makespan - s0.Makespan) / s0.Makespan
+			}
+			fmt.Printf("%-36s %12.2f %9.1f%% recovery overhead\n", "  └ fault-free baseline", s0.Makespan, overhead)
+		}
 	}
 	fmt.Println()
 }
@@ -230,7 +323,11 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 // runPCA reports the PCA stage on its own — the paper notes it takes about
 // 850 s and excludes it from the per-model plots.
 func runPCA(ds *core.Dataset) {
-	rt := compss.New(compss.Config{})
+	var rcfg compss.Config
+	if ft.every > 0 {
+		rcfg = compss.Config{Faults: faultPlan(), DefaultRetries: ft.retries, DefaultBackoff: ft.backoff}
+	}
+	rt := compss.New(rcfg)
 	xa := dsarray.FromMatrix(rt.Main(), ds.X, 100, 100)
 	pca := preproc.PCA{VarianceToRetain: 0.95}
 	reduced, err := pca.FitTransform(xa)

@@ -64,7 +64,9 @@ func (s *Schedule) BreakdownTable(g *graph.Graph) string {
 
 // GanttCSV exports the schedule as CSV (task, name, node, start, end) for
 // external plotting — a poor man's Paraver trace, in the spirit of the
-// execution traces the paper's artifact uploads to Zenodo.
+// execution traces the paper's artifact uploads to Zenodo. Replayed failed
+// attempts follow the final placements, with the name suffixed "!k" for
+// attempt k, so fault-injected traces show the wasted intervals.
 func (s *Schedule) GanttCSV(g *graph.Graph) string {
 	var b strings.Builder
 	b.WriteString("task,name,node,start,end\n")
@@ -74,6 +76,48 @@ func (s *Schedule) GanttCSV(g *graph.Graph) string {
 			name = t.Name
 		}
 		fmt.Fprintf(&b, "%d,%s,%d,%.6f,%.6f\n", p.Task, name, p.Node, p.Start, p.End)
+	}
+	for _, fa := range s.FailedAttempts {
+		name := ""
+		if t, ok := g.Task(fa.Task); ok {
+			name = t.Name
+		}
+		fmt.Fprintf(&b, "%d,%s!%d,%d,%.6f,%.6f\n", fa.Task, name, fa.Attempt, fa.Node, fa.Start, fa.End)
+	}
+	return b.String()
+}
+
+// RecoverySummary describes the replayed failure cost: how many attempts
+// were lost, on how many tasks, and how much core time they wasted — the
+// per-kind table shows where the retries concentrated.
+func (s *Schedule) RecoverySummary(g *graph.Graph) string {
+	if len(s.FailedAttempts) == 0 {
+		return "recovery: no failures replayed\n"
+	}
+	perName := map[string]int{}
+	tasks := map[int]bool{}
+	for _, fa := range s.FailedAttempts {
+		tasks[fa.Task] = true
+		name := "?"
+		if t, ok := g.Task(fa.Task); ok {
+			name = t.Name
+		}
+		perName[name]++
+	}
+	var b strings.Builder
+	pct := 0.0
+	if s.BusyCoreSeconds > 0 {
+		pct = 100 * s.WastedCoreSeconds / s.BusyCoreSeconds
+	}
+	fmt.Fprintf(&b, "recovery: %d failed attempts across %d tasks (%d degraded), %.3f core-s wasted (%.1f%% of busy)\n",
+		len(s.FailedAttempts), len(tasks), s.DegradedTasks, s.WastedCoreSeconds, pct)
+	names := make([]string, 0, len(perName))
+	for n := range perName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-20s %4d lost attempt(s)\n", n, perName[n])
 	}
 	return b.String()
 }

@@ -109,6 +109,47 @@ func CTEPower(n int) Cluster {
 	return c
 }
 
+// Validate checks the cluster description for parameters that would poison
+// the virtual times with NaN or Inf instead of failing loudly: an empty node
+// list, non-positive interconnect bandwidth (zero used to silently mean
+// "free transfers"; say math.Inf(1) to mean that), negative or NaN latency,
+// overhead or deserialization throughput, and nodes advertising cores or
+// GPUs without a positive speed (cost/speed would be Inf or NaN).
+// ScheduleGraph validates before scheduling.
+func (c Cluster) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster %q: no nodes", c.Name)
+	}
+	if !(c.BandwidthBps > 0) {
+		return fmt.Errorf("cluster %q: BandwidthBps must be positive, got %v (use math.Inf(1) for free transfers)",
+			c.Name, c.BandwidthBps)
+	}
+	if c.LatencySec < 0 || math.IsNaN(c.LatencySec) {
+		return fmt.Errorf("cluster %q: invalid LatencySec %v", c.Name, c.LatencySec)
+	}
+	if c.TaskOverheadSec < 0 || math.IsNaN(c.TaskOverheadSec) {
+		return fmt.Errorf("cluster %q: invalid TaskOverheadSec %v", c.Name, c.TaskOverheadSec)
+	}
+	if c.DeserializeBps < 0 || math.IsNaN(c.DeserializeBps) {
+		return fmt.Errorf("cluster %q: invalid DeserializeBps %v (0 disables the charge)", c.Name, c.DeserializeBps)
+	}
+	for i, n := range c.Nodes {
+		if n.Cores < 0 || n.GPUs < 0 {
+			return fmt.Errorf("cluster %q: node %d has negative resources", c.Name, i)
+		}
+		if n.Cores == 0 && n.GPUs == 0 {
+			return fmt.Errorf("cluster %q: node %d provides no cores and no GPUs", c.Name, i)
+		}
+		if n.Cores > 0 && !(n.CoreSpeed > 0) {
+			return fmt.Errorf("cluster %q: node %d has %d cores but CoreSpeed %v", c.Name, i, n.Cores, n.CoreSpeed)
+		}
+		if n.GPUs > 0 && !(n.GPUSpeed > 0) {
+			return fmt.Errorf("cluster %q: node %d has %d GPUs but GPUSpeed %v", c.Name, i, n.GPUs, n.GPUSpeed)
+		}
+	}
+	return nil
+}
+
 // TotalCores returns the core count across all nodes.
 func (c Cluster) TotalCores() int {
 	t := 0
@@ -128,11 +169,26 @@ func (c Cluster) TotalGPUs() int {
 }
 
 // Placement records where and when one task ran in the virtual schedule.
+// For a task with failed attempts it describes the final attempt; for a
+// degraded task it describes the last failed attempt (the fallback stands
+// in at the instant the task gave up).
 type Placement struct {
 	Task  int
 	Node  int
 	Start float64
 	End   float64
+}
+
+// AttemptPlacement records one *failed* attempt replayed in virtual time:
+// the attempt occupied Node from Start until the failure instant End, after
+// which the task re-queued (backoff permitting) and possibly landed on a
+// different node.
+type AttemptPlacement struct {
+	Task    int
+	Attempt int
+	Node    int
+	Start   float64
+	End     float64
 }
 
 // Schedule is the result of replaying a graph on a cluster.
@@ -142,13 +198,23 @@ type Schedule struct {
 	Makespan float64
 	// Placements is indexed by task ID.
 	Placements []Placement
-	// BytesMoved is the total data moved across the interconnect.
+	// BytesMoved is the total data moved across the interconnect, including
+	// re-transfers of inputs for retried attempts.
 	BytesMoved int64
-	// BusyCoreSeconds sums cores×duration over all tasks.
+	// BusyCoreSeconds sums cores×duration over all attempts, failed ones
+	// included (they held their cores until the failure instant).
 	BusyCoreSeconds float64
 	// Utilization is BusyCoreSeconds / (Makespan × TotalCores); 0 when the
 	// makespan is 0.
 	Utilization float64
+	// FailedAttempts lists every replayed failed attempt, in schedule order.
+	FailedAttempts []AttemptPlacement
+	// WastedCoreSeconds is the share of BusyCoreSeconds consumed by failed
+	// attempts — the recovery cost the -faults sweeps quantify.
+	WastedCoreSeconds float64
+	// DegradedTasks counts tasks whose declared fallback stood in for a
+	// computed value.
+	DegradedTasks int
 }
 
 // taskHeap orders ready tasks by submission ID, approximating the program
@@ -179,16 +245,23 @@ func (h *taskHeap) Pop() interface{} {
 //     nodes differ, twice that for ViaMaster dependencies (the data bounces
 //     through the master process), and zero for node-local reuse;
 //   - node choice minimises the task's start time, ties broken by the
-//     lowest node index.
+//     lowest node index;
+//   - failure events recorded in the graph are replayed: each failed attempt
+//     occupies its chosen node (and re-pulls its inputs) until the failure
+//     instant — CostFraction of the task's duration — then the task
+//     re-queues BackoffSec·2^attempt later and is placed afresh, possibly
+//     on a different node. A degraded task ends at its last failure instant
+//     (its fallback stands in; nothing ran to completion).
 func ScheduleGraph(g *graph.Graph, c Cluster) (*Schedule, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	if len(c.Nodes) == 0 {
-		return nil, fmt.Errorf("cluster: no nodes in %q", c.Name)
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	tasks := g.Tasks()
 	n := len(tasks)
+	failures := g.FailuresByTask()
 
 	for _, t := range tasks {
 		if !fits(t, c) {
@@ -286,12 +359,14 @@ func ScheduleGraph(g *graph.Graph, c Cluster) (*Schedule, error) {
 			floor = place[t.Parent].Start
 		}
 
-		// planTransfers computes when t's inputs are ready on node ni,
-		// reserving egress link time on the producers when commit is set.
-		planTransfers := func(ni int, commit bool) (ready float64, inBytes int64) {
+		// planTransfers computes when t's inputs are ready on node ni given
+		// an earliest-start lower bound, reserving egress link time on the
+		// producers when commit is set. Each attempt re-pulls its inputs, so
+		// retried tasks re-charge their transfers.
+		planTransfers := func(ni int, lower float64, commit bool) (ready float64, inBytes int64) {
 			tentNode := map[int]float64{}
 			tentMaster := masterEgress
-			ready = floor
+			ready = lower
 			for _, d := range t.Deps {
 				bytes := tasks[d.Task].OutBytes
 				r := fin[d.Task]
@@ -341,45 +416,79 @@ func ScheduleGraph(g *graph.Graph, c Cluster) (*Schedule, error) {
 			return ready, inBytes
 		}
 
-		bestNode, bestStart := -1, math.Inf(1)
-		var bestIn int64
-		for ni, spec := range c.Nodes {
-			if spec.Cores < t.Cores || spec.GPUs < t.GPUs {
-				continue
-			}
-			est, inBytes := planTransfers(ni, false)
-			if ra := resourceAvail(coreAvail[ni], t.Cores); ra > est {
-				est = ra
-			}
-			if ra := resourceAvail(gpuAvail[ni], t.GPUs); ra > est {
-				est = ra
-			}
-			if est < bestStart {
-				bestStart, bestNode, bestIn = est, ni, inBytes
-			}
+		// Replay the task's attempts: every recorded failure occupies a node
+		// until its failure instant and pushes the next attempt past the
+		// backoff; the final attempt (absent for degraded tasks) runs to
+		// completion.
+		evs := failures[id]
+		degraded := g.IsDegraded(id) && len(evs) > 0
+		nAttempts := len(evs) + 1
+		if degraded {
+			nAttempts = len(evs)
 		}
-		if bestNode < 0 {
-			return nil, fmt.Errorf("cluster: task %d unschedulable", id)
-		}
-		planTransfers(bestNode, true)
+		attemptFloor := floor
+		for k := 0; k < nAttempts; k++ {
+			failed := k < len(evs)
+			isFinal := k == nAttempts-1
 
-		spec := c.Nodes[bestNode]
-		speed := spec.CoreSpeed
-		if t.GPUs > 0 {
-			speed = spec.GPUSpeed
-		}
-		dur := c.TaskOverheadSec + t.Cost/speed
-		if c.DeserializeBps > 0 {
-			dur += float64(bestIn) / c.DeserializeBps
-		}
-		end := bestStart + dur
-		claim(coreAvail[bestNode], t.Cores, end)
-		claim(gpuAvail[bestNode], t.GPUs, end)
+			bestNode, bestStart := -1, math.Inf(1)
+			var bestIn int64
+			for ni, spec := range c.Nodes {
+				if spec.Cores < t.Cores || spec.GPUs < t.GPUs {
+					continue
+				}
+				est, inBytes := planTransfers(ni, attemptFloor, false)
+				if ra := resourceAvail(coreAvail[ni], t.Cores); ra > est {
+					est = ra
+				}
+				if ra := resourceAvail(gpuAvail[ni], t.GPUs); ra > est {
+					est = ra
+				}
+				if est < bestStart {
+					bestStart, bestNode, bestIn = est, ni, inBytes
+				}
+			}
+			if bestNode < 0 {
+				return nil, fmt.Errorf("cluster: task %d unschedulable", id)
+			}
+			planTransfers(bestNode, attemptFloor, true)
 
-		place[id] = Placement{Task: id, Node: bestNode, Start: bestStart, End: end}
+			spec := c.Nodes[bestNode]
+			speed := spec.CoreSpeed
+			if t.GPUs > 0 {
+				speed = spec.GPUSpeed
+			}
+			work := t.Cost / speed
+			if failed {
+				work *= evs[k].CostFraction
+			}
+			dur := c.TaskOverheadSec + work
+			if c.DeserializeBps > 0 {
+				dur += float64(bestIn) / c.DeserializeBps
+			}
+			end := bestStart + dur
+			claim(coreAvail[bestNode], t.Cores, end)
+			claim(gpuAvail[bestNode], t.GPUs, end)
+			busy := dur * float64(maxInt(t.Cores, 1))
+			sched.BusyCoreSeconds += busy
+
+			if failed {
+				sched.FailedAttempts = append(sched.FailedAttempts, AttemptPlacement{
+					Task: id, Attempt: evs[k].Attempt, Node: bestNode, Start: bestStart, End: end,
+				})
+				sched.WastedCoreSeconds += busy
+			}
+			if isFinal {
+				place[id] = Placement{Task: id, Node: bestNode, Start: bestStart, End: end}
+			} else {
+				attemptFloor = end + t.BackoffSec*math.Pow(2, float64(k))
+			}
+		}
+		if degraded {
+			sched.DegradedTasks++
+		}
 		scheduled[id] = true
 		done++
-		sched.BusyCoreSeconds += dur * float64(maxInt(t.Cores, 1))
 		// Children become eligible now that the parent's start is known.
 		for _, ch := range children[id] {
 			if isReady(ch) && !scheduled[ch] {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -10,9 +11,11 @@ import (
 )
 
 // zeroOverhead strips latency/overhead so schedules are exact arithmetic.
+// Free transfers are spelled with infinite bandwidth; zero bandwidth is a
+// validation error.
 func zeroOverhead(c Cluster) Cluster {
 	c.LatencySec = 0
-	c.BandwidthBps = 0
+	c.BandwidthBps = math.Inf(1)
 	c.TaskOverheadSec = 0
 	return c
 }
@@ -134,7 +137,7 @@ func TestViaMasterPaysTwoHopsEvenLocally(t *testing.T) {
 	c := Homogeneous("c", 1, 2, 0)
 	c.TaskOverheadSec = 0
 	c.LatencySec = 0.25
-	c.BandwidthBps = 0
+	c.BandwidthBps = math.Inf(1)
 	s := mustSchedule(t, g, c)
 	if math.Abs(s.Makespan-2.5) > 1e-9 {
 		t.Fatalf("Makespan = %v, want 2.5 (two master hops)", s.Makespan)
@@ -371,5 +374,159 @@ func TestMasterEgressSerializesSyncs(t *testing.T) {
 	// Producers end at 1; master sends take 2 s each, serialized: 1+2+2 = 5.
 	if math.Abs(s.Makespan-5) > 1e-9 {
 		t.Fatalf("Makespan = %v, want 5 with serialized master egress", s.Makespan)
+	}
+}
+
+func TestValidateRejectsBadClusters(t *testing.T) {
+	base := func() Cluster { return Homogeneous("c", 1, 4, 0) }
+	cases := []struct {
+		name string
+		mut  func(*Cluster)
+	}{
+		{"no nodes", func(c *Cluster) { c.Nodes = nil }},
+		{"zero bandwidth", func(c *Cluster) { c.BandwidthBps = 0 }},
+		{"NaN bandwidth", func(c *Cluster) { c.BandwidthBps = math.NaN() }},
+		{"negative latency", func(c *Cluster) { c.LatencySec = -1 }},
+		{"negative overhead", func(c *Cluster) { c.TaskOverheadSec = -0.5 }},
+		{"negative deserialize", func(c *Cluster) { c.DeserializeBps = -1 }},
+		{"node with no resources", func(c *Cluster) { c.Nodes[0] = NodeSpec{} }},
+		{"cores without speed", func(c *Cluster) { c.Nodes[0].CoreSpeed = 0 }},
+		{"negative cores", func(c *Cluster) { c.Nodes[0].Cores = -2 }},
+	}
+	for _, tc := range cases {
+		c := base()
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted the cluster", tc.name)
+		}
+		g := graph.New()
+		g.Add(graph.Task{Name: "a", Parent: -1, Cost: 1, Cores: 1})
+		if _, err := ScheduleGraph(g, c); err == nil {
+			t.Fatalf("%s: ScheduleGraph accepted the cluster", tc.name)
+		}
+	}
+	// The two spellings that must stay legal: infinite bandwidth (free
+	// transfers) and zero DeserializeBps (deserialization model disabled).
+	c := base()
+	c.BandwidthBps = math.Inf(1)
+	c.DeserializeBps = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate rejected a legal cluster: %v", err)
+	}
+}
+
+// Replay arithmetic on one single-core node: a task of cost 4 fails its
+// first attempt at fraction 0.5 (t=2), backs off 1 virtual second, reruns
+// at t=3, and finishes at t=7. The lost attempt is 2 wasted core-seconds.
+func TestReplaySingleNodeRetryArithmetic(t *testing.T) {
+	g := graph.New()
+	id := g.Add(graph.Task{Name: "a", Parent: -1, Cost: 4, Cores: 1, Retries: 1, BackoffSec: 1})
+	g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 0, Mode: "error", CostFraction: 0.5})
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 1, 0)))
+	if len(s.FailedAttempts) != 1 {
+		t.Fatalf("replayed %d failed attempts, want 1", len(s.FailedAttempts))
+	}
+	fa := s.FailedAttempts[0]
+	if math.Abs(fa.Start-0) > 1e-9 || math.Abs(fa.End-2) > 1e-9 {
+		t.Fatalf("failed attempt ran [%v, %v], want [0, 2]", fa.Start, fa.End)
+	}
+	p := s.Placements[id]
+	if math.Abs(p.Start-3) > 1e-9 || math.Abs(p.End-7) > 1e-9 {
+		t.Fatalf("final attempt ran [%v, %v], want [3, 7] after backoff", p.Start, p.End)
+	}
+	if math.Abs(s.Makespan-7) > 1e-9 {
+		t.Fatalf("Makespan = %v, want 7", s.Makespan)
+	}
+	if math.Abs(s.WastedCoreSeconds-2) > 1e-9 {
+		t.Fatalf("WastedCoreSeconds = %v, want 2", s.WastedCoreSeconds)
+	}
+	if math.Abs(s.BusyCoreSeconds-6) > 1e-9 {
+		t.Fatalf("BusyCoreSeconds = %v, want 6 (includes the lost attempt)", s.BusyCoreSeconds)
+	}
+}
+
+// Exponential backoff: two failures at full cost with base 1 give floors
+// end+1 (2^0) then end+2 (2^1).
+func TestReplayBackoffDoubles(t *testing.T) {
+	g := graph.New()
+	id := g.Add(graph.Task{Name: "a", Parent: -1, Cost: 2, Cores: 1, Retries: 2, BackoffSec: 1})
+	g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 0, Mode: "error", CostFraction: 1})
+	g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 1, Mode: "error", CostFraction: 1})
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 1, 0)))
+	// Attempt 0: [0,2]; floor 3; attempt 1: [3,5]; floor 7; final: [7,9].
+	p := s.Placements[id]
+	if math.Abs(p.Start-7) > 1e-9 || math.Abs(p.End-9) > 1e-9 {
+		t.Fatalf("final attempt ran [%v, %v], want [7, 9]", p.Start, p.End)
+	}
+}
+
+// A degraded task's replay ends at its last failure instant — the fallback
+// costs nothing — and is counted in DegradedTasks.
+func TestReplayDegradedTaskEndsAtFailure(t *testing.T) {
+	g := graph.New()
+	id := g.Add(graph.Task{Name: "a", Parent: -1, Cost: 4, Cores: 1})
+	g.Add(graph.Task{Name: "b", Parent: -1, Cost: 2, Cores: 1, Deps: []graph.Dep{{Task: id}}})
+	g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 0, Mode: "error", CostFraction: 0.5})
+	g.MarkDegraded(id)
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 1, 0)))
+	p := s.Placements[id]
+	if math.Abs(p.End-2) > 1e-9 {
+		t.Fatalf("degraded task ends at %v, want the failure instant 2", p.End)
+	}
+	if s.DegradedTasks != 1 {
+		t.Fatalf("DegradedTasks = %d, want 1", s.DegradedTasks)
+	}
+	pb := s.Placements[1]
+	if math.Abs(pb.Start-2) > 1e-9 {
+		t.Fatalf("dependent starts at %v, want 2 (right after the fallback)", pb.Start)
+	}
+}
+
+// Replaying the same failed graph twice yields the identical schedule, and
+// the fault-free replay of WithoutFailures() is never slower than the
+// faulty one.
+func TestReplayDeterministicAndOverheadNonNegative(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		tk := graph.Task{Name: "w", Parent: -1, Cost: 1 + rng.Float64()*3, Cores: 1,
+			OutBytes: 1 << 16, Retries: 2, BackoffSec: 0.5}
+		if i > 0 {
+			tk.Deps = []graph.Dep{{Task: rng.Intn(i)}}
+		}
+		id := g.Add(tk)
+		if i%5 == 0 {
+			g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 0, Mode: "error", CostFraction: 0.5})
+		}
+	}
+	c := MareNostrum4(2)
+	s1 := mustSchedule(t, g, c)
+	s2 := mustSchedule(t, g, c)
+	if s1.Makespan != s2.Makespan || s1.BytesMoved != s2.BytesMoved ||
+		s1.WastedCoreSeconds != s2.WastedCoreSeconds {
+		t.Fatalf("replay not deterministic: %+v vs %+v", s1, s2)
+	}
+	clean := mustSchedule(t, g.WithoutFailures(), c)
+	if clean.Makespan > s1.Makespan+1e-9 {
+		t.Fatalf("fault-free makespan %v exceeds faulty %v", clean.Makespan, s1.Makespan)
+	}
+	if s1.WastedCoreSeconds <= 0 || math.IsNaN(s1.Makespan) || math.IsInf(s1.Makespan, 0) {
+		t.Fatalf("recovery metrics not finite/positive: %+v", s1)
+	}
+}
+
+// GanttCSV rows for lost attempts are labelled name!attempt so plots can
+// distinguish them from the surviving execution.
+func TestGanttCSVMarksFailedAttempts(t *testing.T) {
+	g := graph.New()
+	id := g.Add(graph.Task{Name: "a", Parent: -1, Cost: 2, Cores: 1, Retries: 1, BackoffSec: 1})
+	g.RecordFailure(graph.FailureEvent{Task: id, Attempt: 0, Mode: "error", CostFraction: 1})
+	s := mustSchedule(t, g, zeroOverhead(Homogeneous("c", 1, 1, 0)))
+	csv := s.GanttCSV(g)
+	if !strings.Contains(csv, "a!0") {
+		t.Fatalf("GanttCSV misses the a!0 lost-attempt row:\n%s", csv)
+	}
+	if sum := s.RecoverySummary(g); !strings.Contains(sum, "1 failed attempt") {
+		t.Fatalf("RecoverySummary = %q", sum)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskml/internal/graph"
@@ -58,7 +59,45 @@ type Opts struct {
 	// OutBytes is the size of the produced value, charged by the scheduler
 	// when a dependent runs on a different node (or via the master).
 	OutBytes int64
+	// Retries is how many times a failed attempt is re-executed before the
+	// task is declared failed. 0 falls back to Config.DefaultRetries; the
+	// FailFast policy forces 0. Retried attempts re-run immediately in real
+	// time — backoff exists only in the replayed schedule, so failure
+	// handling stays deterministic.
+	Retries int
+	// Backoff is the virtual-time delay, in seconds, between a failed
+	// attempt and its retry; attempt k waits Backoff·2^k after the failure
+	// instant. 0 falls back to Config.DefaultBackoff. Like Cost it never
+	// affects real execution.
+	Backoff float64
+	// Deadline, when positive, bounds each attempt's wall-clock execution.
+	// An attempt that overruns fails with ErrDeadlineExceeded and is retried
+	// like any other failure; its goroutine is abandoned (its eventual
+	// result is discarded).
+	Deadline time.Duration
+	// Fallback, when non-nil, is the value published if every attempt fails
+	// under the Degrade policy, letting dependents — typically reduction
+	// merges — proceed on partial results. For SubmitN tasks it must be a
+	// []any of length nOut. Fallback values may be shared between tasks and
+	// must be treated as read-only by consumers.
+	Fallback any
 }
+
+// FailurePolicy is the runtime-wide answer to a task exhausting its attempts.
+type FailurePolicy int
+
+const (
+	// RetryThenFail (the default) honours per-task retry budgets and fails
+	// the task — and transitively its dependents — when they run out.
+	RetryThenFail FailurePolicy = iota
+	// FailFast ignores retry budgets: the first failed attempt is final.
+	FailFast
+	// Degrade behaves like RetryThenFail, but a task that declared
+	// Opts.Fallback publishes it instead of failing, so the workflow
+	// completes on partial results (at a model-quality cost; the graph
+	// records which tasks degraded).
+	Degrade
+)
 
 // TaskFunc is a task body. It receives a TaskCtx for nested submissions and
 // its resolved arguments (futures replaced by values) and returns the task's
@@ -72,17 +111,32 @@ type MultiTaskFunc func(tc *TaskCtx, args []any) ([]any, error)
 type Config struct {
 	// Workers bounds real goroutine parallelism. Defaults to GOMAXPROCS.
 	Workers int
+	// OnTaskFailure selects what happens when a task exhausts its attempts.
+	// The zero value, RetryThenFail, preserves the historical behaviour for
+	// tasks without retries (first failure is final).
+	OnTaskFailure FailurePolicy
+	// DefaultRetries is the retry budget for tasks that leave Opts.Retries
+	// at 0. Ignored under FailFast.
+	DefaultRetries int
+	// DefaultBackoff is the virtual backoff base, in seconds, for tasks that
+	// leave Opts.Backoff at 0.
+	DefaultBackoff float64
+	// Faults injects deterministic failures into chosen attempts (tests,
+	// cmd/scaling -faults). Nil injects nothing.
+	Faults *FaultPlan
 }
 
 // Runtime executes tasks and captures the workflow graph.
 type Runtime struct {
 	g    *graph.Graph
+	cfg  Config
 	sem  chan struct{}
 	main *TaskCtx
 	rec  statsRecorder
 
-	mu  sync.Mutex
-	all []*taskState
+	mu   sync.Mutex
+	all  []*taskState
+	byID map[int]*taskState
 }
 
 // New creates a runtime.
@@ -91,8 +145,15 @@ func New(cfg Config) *Runtime {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	if cfg.DefaultRetries < 0 {
+		cfg.DefaultRetries = 0
+	}
+	if cfg.DefaultBackoff < 0 {
+		cfg.DefaultBackoff = 0
+	}
 	rt := &Runtime{
 		g:   graph.New(),
+		cfg: cfg,
 		sem: make(chan struct{}, w),
 	}
 	rt.main = &TaskCtx{rt: rt, parent: -1, insideTask: false}
@@ -130,11 +191,15 @@ func (rt *Runtime) Barrier() error { return rt.main.barrierAll() }
 
 // taskState is the shared completion record behind one or more Futures.
 type taskState struct {
-	id   int
-	name string
-	done chan struct{}
-	vals []any
-	err  error
+	id       int
+	name     string
+	occ      int // occurrence index among same-named tasks, for fault matching
+	opts     Opts
+	retries  int // effective retry budget after Config defaults and policy
+	done     chan struct{}
+	vals     []any
+	err      error
+	degraded bool
 }
 
 // Future is a handle to the not-yet-available output of a task. Passing a
@@ -165,6 +230,11 @@ type TaskCtx struct {
 	rt         *Runtime
 	parent     int  // graph ID of the enclosing task, -1 for main
 	insideTask bool // true when this ctx belongs to a running task body
+
+	// abandoned is set when the attempt owning this context missed its
+	// deadline: the attempt's worker slot was already released, so a
+	// blockingWait from the abandoned body must not touch the semaphore.
+	abandoned atomic.Bool
 
 	mu        sync.Mutex
 	floor     map[int]bool // task IDs synchronised in this context
@@ -245,17 +315,40 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 		})
 	}
 
-	id := tc.rt.g.Add(graph.Task{
-		Name:     o.Name,
-		Parent:   tc.parent,
-		Deps:     gdeps,
-		Cost:     o.Cost,
-		Cores:    o.Cores,
-		GPUs:     o.GPUs,
-		OutBytes: o.OutBytes,
+	// Resolve the effective failure policy now, so the graph records what
+	// the replay should emulate.
+	retries := o.Retries
+	if retries <= 0 {
+		retries = tc.rt.cfg.DefaultRetries
+	}
+	if retries < 0 || tc.rt.cfg.OnTaskFailure == FailFast {
+		retries = 0
+	}
+	backoff := o.Backoff
+	if backoff <= 0 {
+		backoff = tc.rt.cfg.DefaultBackoff
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	o.Retries, o.Backoff = retries, backoff
+
+	id, occ := tc.rt.g.AddCounted(graph.Task{
+		Name:       o.Name,
+		Parent:     tc.parent,
+		Deps:       gdeps,
+		Cost:       o.Cost,
+		Cores:      o.Cores,
+		GPUs:       o.GPUs,
+		OutBytes:   o.OutBytes,
+		Retries:    retries,
+		BackoffSec: backoff,
 	})
 
-	st := &taskState{id: id, name: o.Name, done: make(chan struct{}), vals: make([]any, nOut)}
+	st := &taskState{
+		id: id, name: o.Name, occ: occ, opts: o, retries: retries,
+		done: make(chan struct{}), vals: make([]any, nOut),
+	}
 	futs := make([]*Future, nOut)
 	for i := range futs {
 		futs[i] = &Future{st: st, idx: i}
@@ -263,6 +356,10 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 
 	tc.rt.mu.Lock()
 	tc.rt.all = append(tc.rt.all, st)
+	if tc.rt.byID == nil {
+		tc.rt.byID = map[int]*taskState{}
+	}
+	tc.rt.byID[id] = st
 	tc.rt.mu.Unlock()
 	tc.mu.Lock()
 	tc.submitted = append(tc.submitted, futs[0])
@@ -272,21 +369,26 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 	return futs
 }
 
-// run executes a task: resolve dependencies, acquire a worker slot, run the
-// body (with panic containment), wait for nested children, publish.
+// run executes a task: resolve dependencies, then loop over attempts —
+// acquire a worker slot, run the body (with panic containment, deadline and
+// fault injection), wait for the attempt's nested children — retrying while
+// the budget lasts, and finally publish the value, the declared fallback
+// (Degrade), or the failure.
 func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any) {
 	defer close(st.done)
 	submitted := time.Now()
 
 	// Resolve arguments outside the worker slot so blocked tasks do not
-	// hold execution capacity.
+	// hold execution capacity. A failed dependency means this task never
+	// runs — it still records a TaskStat (zero Duration, zero Attempts, real
+	// WaitDeps) so StatsSummary accounts for every graph node.
 	resolved := make([]any, len(args))
 	for i, a := range args {
 		switch v := a.(type) {
 		case *Future:
 			val, err := v.wait()
 			if err != nil {
-				st.err = fmt.Errorf("task %d (%s): dependency failed: %w", id, st.name, err)
+				rt.failDeps(st, submitted, err)
 				return
 			}
 			resolved[i] = val
@@ -295,7 +397,7 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 			for j, f := range v {
 				val, err := f.wait()
 				if err != nil {
-					st.err = fmt.Errorf("task %d (%s): dependency failed: %w", id, st.name, err)
+					rt.failDeps(st, submitted, err)
 					return
 				}
 				vals[j] = val
@@ -307,40 +409,162 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 	}
 
 	depsReady := time.Now()
-	rt.sem <- struct{}{}
-	started := time.Now()
-	child := &TaskCtx{rt: rt, parent: id, insideTask: true}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				st.err = fmt.Errorf("task %d (%s): panic: %v", id, st.name, r)
+	attemptReady := depsReady
+	var queued, running time.Duration
+	attempts := 0
+	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
+		rt.sem <- struct{}{}
+		started := time.Now()
+		queued += started.Sub(attemptReady)
+		child := &TaskCtx{rt: rt, parent: id, insideTask: true}
+		res := rt.execAttempt(st, child, attempt, nOut, fn, resolved)
+		<-rt.sem
+		running += time.Since(started)
+
+		// An attempt is not complete until its children are; a child failure
+		// fails the attempt, so the retry covers the whole nested subtree.
+		cerr := child.waitSubmitted()
+		if res.err == nil && cerr != nil {
+			res = attemptResult{
+				err:  &TaskError{ID: id, Name: st.name, Err: fmt.Errorf("nested task failed: %w", cerr)},
+				mode: "error",
+				frac: 1,
 			}
-		}()
-		vals, err := fn(child, resolved)
-		if err != nil {
-			st.err = fmt.Errorf("task %d (%s): %w", id, st.name, err)
-			return
 		}
-		if len(vals) != nOut {
-			st.err = fmt.Errorf("task %d (%s): returned %d values, declared %d", id, st.name, len(vals), nOut)
-			return
+		if res.err == nil {
+			st.vals = res.vals
+			break
 		}
-		st.vals = vals
-	}()
-	<-rt.sem
+		rt.g.RecordFailure(graph.FailureEvent{
+			Task: id, Attempt: attempt, Mode: res.mode, CostFraction: res.frac,
+		})
+		if attempt < st.retries {
+			attemptReady = time.Now()
+			continue
+		}
+		if rt.cfg.OnTaskFailure == Degrade {
+			if vals, ok := fallbackValues(st.opts.Fallback, nOut); ok {
+				st.vals = vals
+				st.degraded = true
+				rt.g.MarkDegraded(id)
+				break
+			}
+		}
+		st.err = res.err
+		break
+	}
+
 	rt.rec.add(TaskStat{
 		ID:       id,
 		Name:     st.name,
 		WaitDeps: depsReady.Sub(submitted),
-		Queued:   started.Sub(depsReady),
-		Duration: time.Since(started),
+		Queued:   queued,
+		Duration: running,
+		Attempts: attempts,
+		Degraded: st.degraded,
 	})
+}
 
-	// A nested task is not complete until its children are; propagate the
-	// first child error if the body itself succeeded.
-	if cerr := child.waitSubmitted(); cerr != nil && st.err == nil {
-		st.err = fmt.Errorf("task %d (%s): nested task failed: %w", id, st.name, cerr)
+// failDeps records a dep-resolution failure: a collapsed DepError plus the
+// TaskStat the old runtime forgot.
+func (rt *Runtime) failDeps(st *taskState, submitted time.Time, err error) {
+	st.err = depError(st.id, st.name, err)
+	rt.rec.add(TaskStat{ID: st.id, Name: st.name, WaitDeps: time.Since(submitted)})
+}
+
+// attemptResult is one attempt's outcome; mode and frac feed the graph's
+// failure record when err is non-nil.
+type attemptResult struct {
+	vals []any
+	err  error
+	mode string  // "error", "panic" or "timeout"
+	frac float64 // virtual cost fraction consumed before the failure instant
+}
+
+// execAttempt runs one attempt of the task body inside the caller's worker
+// slot: fault injection swaps the body for a doomed one, a deadline races it
+// against a timer, and panics become errors.
+func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int, fn MultiTaskFunc, resolved []any) attemptResult {
+	body := fn
+	frac := 1.0
+	var cancel chan struct{}
+	if f := rt.cfg.Faults.match(st.id, st.name, st.occ, attempt); f != nil {
+		frac = f.fraction()
+		mode := f.Mode
+		if mode == FaultHang && st.opts.Deadline <= 0 {
+			mode = FaultError // nothing would ever cancel the hang
+		}
+		if mode == FaultHang {
+			cancel = make(chan struct{})
+		}
+		body = injectedBody(st, attempt, mode, cancel)
 	}
+
+	runBody := func() (res attemptResult) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = attemptResult{
+					err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("panic: %v", r)},
+					mode: "panic",
+					frac: frac,
+				}
+			}
+		}()
+		vals, err := body(child, resolved)
+		switch {
+		case err != nil:
+			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
+		case len(vals) != nOut:
+			return attemptResult{
+				err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("returned %d values, declared %d", len(vals), nOut)},
+				mode: "error",
+				frac: 1,
+			}
+		}
+		return attemptResult{vals: vals}
+	}
+
+	d := st.opts.Deadline
+	if d <= 0 {
+		return runBody()
+	}
+	ch := make(chan attemptResult, 1)
+	go func() { ch <- runBody() }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res
+	case <-timer.C:
+		// Abandon the attempt: its goroutine keeps running but its result is
+		// discarded, and its context stops touching the worker semaphore.
+		child.abandoned.Store(true)
+		if cancel != nil {
+			close(cancel)
+		}
+		return attemptResult{
+			err: &TaskError{ID: st.id, Name: st.name,
+				Err: fmt.Errorf("attempt %d: %w (deadline %v)", attempt, ErrDeadlineExceeded, d)},
+			mode: "timeout",
+			frac: 1, // the node was held until the deadline fired
+		}
+	}
+}
+
+// fallbackValues validates a declared fallback against the task's output
+// arity, returning the values to publish.
+func fallbackValues(fb any, nOut int) ([]any, bool) {
+	if fb == nil {
+		return nil, false
+	}
+	if nOut == 1 {
+		return []any{fb}, true
+	}
+	if vs, ok := fb.([]any); ok && len(vs) == nOut {
+		return vs, true
+	}
+	return nil, false
 }
 
 // Get blocks until f's value is available and raises this context's sync
@@ -359,9 +583,10 @@ func (tc *TaskCtx) Get(f *Future) (any, error) {
 
 // blockingWait waits for a future; when called from inside a task body it
 // releases the worker slot while blocked so nested tasks cannot deadlock
-// the pool.
+// the pool. An abandoned attempt (deadline overrun) no longer owns a slot
+// and must wait without the release/reacquire dance.
 func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
-	if !tc.insideTask {
+	if !tc.insideTask || tc.abandoned.Load() {
 		return f.wait()
 	}
 	select {
@@ -416,7 +641,10 @@ func (tc *TaskCtx) waitSubmitted() error {
 	return first
 }
 
-// barrierAll waits for every task in the runtime (main Barrier).
+// barrierAll waits for every task in the runtime (main Barrier). Failures
+// compensated upstream — a nested task whose parent retried past it or
+// degraded to its fallback — are not the workflow's failures and are
+// skipped; the first unabsorbed error in submission order is returned.
 func (tc *TaskCtx) barrierAll() error {
 	tc.rt.mu.Lock()
 	snapshot := make([]*taskState, len(tc.rt.all))
@@ -431,7 +659,7 @@ func (tc *TaskCtx) barrierAll() error {
 	tc.mu.Unlock()
 	for _, st := range snapshot {
 		<-st.done
-		if st.err != nil && first == nil {
+		if st.err != nil && first == nil && !tc.rt.errorAbsorbed(st) {
 			first = st.err
 		}
 		tc.mu.Lock()
@@ -439,6 +667,35 @@ func (tc *TaskCtx) barrierAll() error {
 		tc.mu.Unlock()
 	}
 	return first
+}
+
+// errorAbsorbed reports whether st's failure was compensated upstream: some
+// ancestor task ultimately published a value (via a later attempt whose
+// resubmitted children succeeded, or via its fallback), so the workflow as
+// a whole moved past this failure.
+func (rt *Runtime) errorAbsorbed(st *taskState) bool {
+	t, ok := rt.g.Task(st.id)
+	if !ok {
+		return false
+	}
+	for p := t.Parent; p >= 0; {
+		rt.mu.Lock()
+		ps := rt.byID[p]
+		rt.mu.Unlock()
+		if ps == nil {
+			return false
+		}
+		<-ps.done
+		if ps.err == nil {
+			return true
+		}
+		pt, ok := rt.g.Task(p)
+		if !ok {
+			return false
+		}
+		p = pt.Parent
+	}
+	return false
 }
 
 // GetAll resolves a slice of futures with Get semantics and returns the

@@ -15,8 +15,10 @@ type TaskStat struct {
 	ID       int
 	Name     string
 	WaitDeps time.Duration // submission → dependencies resolved
-	Queued   time.Duration // dependencies resolved → body start (worker-slot wait)
-	Duration time.Duration // body execution
+	Queued   time.Duration // dependencies resolved → body start (worker-slot wait), summed over attempts
+	Duration time.Duration // body execution, summed over attempts
+	Attempts int           // executed attempts; 0 means a dependency failed and the body never ran
+	Degraded bool          // the published value is the declared fallback
 }
 
 // statsRecorder accumulates TaskStats when enabled.
@@ -64,7 +66,7 @@ func (rt *Runtime) StatsSummary() string {
 	type row struct {
 		name                string
 		total, wait, queued time.Duration
-		count               int
+		count, retries      int
 	}
 	agg := map[string]*row{}
 	for _, s := range rt.Stats() {
@@ -77,6 +79,9 @@ func (rt *Runtime) StatsSummary() string {
 		r.wait += s.WaitDeps
 		r.queued += s.Queued
 		r.count++
+		if s.Attempts > 1 {
+			r.retries += s.Attempts - 1
+		}
 	}
 	rows := make([]*row, 0, len(agg))
 	for _, r := range agg {
@@ -84,14 +89,14 @@ func (rt *Runtime) StatsSummary() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s\n", "task", "total", "count", "mean", "wait", "queued")
+	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s %8s\n", "task", "total", "count", "mean", "wait", "queued", "retries")
 	for _, r := range rows {
 		mean := time.Duration(0)
 		if r.count > 0 {
 			mean = r.total / time.Duration(r.count)
 		}
-		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s\n", r.name, r.total.Round(time.Microsecond), r.count,
-			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s %8d\n", r.name, r.total.Round(time.Microsecond), r.count,
+			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond), r.retries)
 	}
 	return b.String()
 }

@@ -61,6 +61,30 @@ type PipelineConfig struct {
 	CNNTrain eddl.TrainConfig
 	// CNNNested selects the Figure 10 nested variant.
 	CNNNested bool
+
+	// Retries is the runtime-wide default retry budget per task
+	// (compss.Config.DefaultRetries); 0 keeps failures final.
+	Retries int
+	// RetryBackoff is the virtual-time backoff base, in seconds, between a
+	// failed attempt and its retry.
+	RetryBackoff float64
+	// OnTaskFailure selects the runtime failure policy; the zero value is
+	// compss.RetryThenFail.
+	OnTaskFailure compss.FailurePolicy
+	// Faults injects deterministic failures (tests, cmd/scaling -faults).
+	Faults *compss.FaultPlan
+}
+
+// runtimeConfig assembles the compss configuration for this pipeline,
+// including the fault-tolerance knobs.
+func (c PipelineConfig) runtimeConfig() compss.Config {
+	return compss.Config{
+		Workers:        c.Workers,
+		OnTaskFailure:  c.OnTaskFailure,
+		DefaultRetries: c.Retries,
+		DefaultBackoff: c.RetryBackoff,
+		Faults:         c.Faults,
+	}
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -208,7 +232,7 @@ func foldConfusion(pred, truth *dsarray.Array) (*metrics.Confusion, error) {
 // behind Table I.
 func RunCV(model Model, ds *Dataset, cfg PipelineConfig) (*CVReport, error) {
 	cfg = cfg.withDefaults()
-	rt := compss.New(compss.Config{Workers: cfg.Workers})
+	rt := compss.New(cfg.runtimeConfig())
 	rx, k, err := ReduceWithPCA(rt, ds, cfg)
 	if err != nil {
 		return nil, err
@@ -300,7 +324,7 @@ func RunCVReduced(model Model, rt *compss.Runtime, rx *mat.Dense, k int, y []int
 // training of Figure 9 (or 10 when cfg.CNNNested).
 func TrainGraph(model Model, x *mat.Dense, y []int, cfg PipelineConfig) (*compss.Runtime, error) {
 	cfg = cfg.withDefaults()
-	rt := compss.New(compss.Config{Workers: cfg.Workers})
+	rt := compss.New(cfg.runtimeConfig())
 	tc := rt.Main()
 	switch model {
 	case ModelCSVM:

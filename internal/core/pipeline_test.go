@@ -207,3 +207,77 @@ func TestStandardizeZeroMeanUnitVariance(t *testing.T) {
 		}
 	}
 }
+
+// Acceptance test for the fault-tolerance layer: injected faults kill the
+// first attempt of two distinct task kinds in the AF-detection pipeline —
+// a data-loading task (error) and a forest task (panic) — and under
+// RetryThenFail the cross-validation still completes with a confusion
+// matrix bit-identical to the fault-free run, because doomed attempts never
+// run the real body and retried bodies compute their output exactly once.
+func TestRunCVSurvivesInjectedFaultsBitIdentical(t *testing.T) {
+	ds, err := BuildDataset(smallData(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunCV(ModelRF, ds, fastCfg(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastCfg(14)
+	cfg.Retries = 2
+	cfg.RetryBackoff = 5
+	cfg.Faults = &compss.FaultPlan{Faults: []compss.Fault{
+		{Name: "load_block", Nth: 0, Attempts: 1, Mode: compss.FaultError},
+		{Name: "rf_bootstrap", Nth: 0, Attempts: 1, Mode: compss.FaultPanic},
+	}}
+	faulty, err := RunCV(ModelRF, ds, cfg)
+	if err != nil {
+		t.Fatalf("run must survive the injected faults: %v", err)
+	}
+
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if clean.Confusion.Counts[i][j] != faulty.Confusion.Counts[i][j] {
+				t.Fatalf("confusion[%d][%d]: clean %d, faulty %d — retries changed the result",
+					i, j, clean.Confusion.Counts[i][j], faulty.Confusion.Counts[i][j])
+			}
+		}
+	}
+
+	g := faulty.Runtime.Graph()
+	kinds := map[string]int{}
+	for _, ev := range g.FailureEvents() {
+		tk, ok := g.Task(ev.Task)
+		if !ok {
+			t.Fatalf("failure event for unknown task %d", ev.Task)
+		}
+		kinds[tk.Name]++
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("faults hit %v, want >= 2 distinct task kinds", kinds)
+	}
+	if kinds["load_block"] == 0 || kinds["rf_bootstrap"] == 0 {
+		t.Fatalf("faults hit %v, want both load_block and rf_bootstrap", kinds)
+	}
+	if len(g.DegradedTasks()) != 0 {
+		t.Fatal("RetryThenFail must not degrade anything")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph with failure events fails validation: %v", err)
+	}
+
+	// The recovery cost is visible in a virtual replay and strictly exceeds
+	// the fault-free replay of the same workflow.
+	sch, err := cluster.ScheduleGraph(g.Scaled(1e4, 1e3), cluster.MareNostrum4(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch.FailedAttempts) != len(g.FailureEvents()) {
+		t.Fatalf("replayed %d failed attempts for %d events",
+			len(sch.FailedAttempts), len(g.FailureEvents()))
+	}
+	if sch.WastedCoreSeconds <= 0 {
+		t.Fatal("replay shows no recovery cost")
+	}
+}

@@ -281,12 +281,37 @@ func (a *Array) MulDense(w *compss.Future, outCols int) *Array {
 	return FromBlocks(a.tc, out, a.rows, outCols, a.brows, outCols)
 }
 
+// ReduceOpts parameterises a reduction tree.
+type ReduceOpts struct {
+	// Name labels the merge tasks in the captured graph.
+	Name string
+	// Cost and OutBytes describe each merge task.
+	Cost     float64
+	OutBytes int64
+	// Fallback, when non-nil, is declared on every merge task so a runtime
+	// running under compss.Degrade substitutes it for a merge whose attempts
+	// are exhausted, letting the reduction proceed on partial results.
+	// It should be the reduction's neutral element (e.g. ±Inf ranges for a
+	// min/max merge) and is shared between tasks: treat it as read-only.
+	Fallback *mat.Dense
+}
+
 // Reduce merges a slice of futures pairwise with a binary task tree — the
 // reduction pattern of dislib (and of the CSVM cascade). mergeCost and
 // outBytes describe each merge task; f combines two partial results.
 func Reduce(tc *compss.TaskCtx, name string, futs []*compss.Future, mergeCost float64, outBytes int64, f func(x, y *mat.Dense) *mat.Dense) *compss.Future {
+	return ReduceTree(tc, ReduceOpts{Name: name, Cost: mergeCost, OutBytes: outBytes}, futs, f)
+}
+
+// ReduceTree is Reduce with full per-merge options, including a degraded-
+// mode fallback.
+func ReduceTree(tc *compss.TaskCtx, o ReduceOpts, futs []*compss.Future, f func(x, y *mat.Dense) *mat.Dense) *compss.Future {
 	if len(futs) == 0 {
 		panic("dsarray: Reduce of zero futures")
+	}
+	var fb any
+	if o.Fallback != nil {
+		fb = o.Fallback
 	}
 	level := futs
 	for len(level) > 1 {
@@ -297,9 +322,10 @@ func Reduce(tc *compss.TaskCtx, name string, futs []*compss.Future, mergeCost fl
 				continue
 			}
 			next = append(next, tc.Submit(compss.Opts{
-				Name:     name,
-				Cost:     mergeCost,
-				OutBytes: outBytes,
+				Name:     o.Name,
+				Cost:     o.Cost,
+				OutBytes: o.OutBytes,
+				Fallback: fb,
 			}, func(_ *compss.TaskCtx, args []any) (any, error) {
 				return f(args[0].(*mat.Dense), args[1].(*mat.Dense)), nil
 			}, level[i], level[i+1]))

@@ -343,3 +343,52 @@ func BenchmarkGram32Blocks(b *testing.B) {
 		}
 	}
 }
+
+// ReduceTree with a declared fallback under a Degrade runtime: a merge that
+// loses all its retries publishes the neutral element and the reduction
+// still completes with the surviving partials folded in.
+func TestReduceTreeDegradesToFallback(t *testing.T) {
+	rt := compss.New(compss.Config{
+		Workers:        4,
+		OnTaskFailure:  compss.Degrade,
+		DefaultRetries: 1,
+		Faults: &compss.FaultPlan{Faults: []compss.Fault{
+			{Name: "sum_merge", Nth: 0, Attempts: -1, Mode: compss.FaultError},
+		}},
+	})
+	tc := rt.Main()
+	vals := []float64{1, 2, 4, 8}
+	futs := make([]*compss.Future, len(vals))
+	for i, v := range vals {
+		vv := v
+		futs[i] = tc.Submit(compss.Opts{Name: "leaf", Cost: 1, OutBytes: 8},
+			func(_ *compss.TaskCtx, _ []any) (any, error) {
+				m := mat.New(1, 1)
+				m.Set(0, 0, vv)
+				return m, nil
+			})
+	}
+	zero := mat.New(1, 1) // additive neutral element
+	red := ReduceTree(tc, ReduceOpts{Name: "sum_merge", Cost: 1, OutBytes: 8,
+		Fallback: zero}, futs,
+		func(a, b *mat.Dense) *mat.Dense {
+			out := a.Clone()
+			out.Set(0, 0, a.At(0, 0)+b.At(0, 0))
+			return out
+		})
+	v, err := tc.Get(red)
+	if err != nil {
+		t.Fatalf("degraded reduction must complete: %v", err)
+	}
+	got := v.(*mat.Dense).At(0, 0)
+	// First merge (1+2) degraded to 0; the tree still folds 4 and 8 in.
+	if got != 12 {
+		t.Fatalf("degraded tree sum = %v, want 12 (lost the 1+2 merge)", got)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatalf("Barrier after degradation: %v", err)
+	}
+	if len(rt.Graph().DegradedTasks()) != 1 {
+		t.Fatalf("want exactly one degraded merge, got %v", rt.Graph().DegradedTasks())
+	}
+}

@@ -55,13 +55,40 @@ type Task struct {
 	Cores, GPUs int
 	// OutBytes is the size of the task's output, used for transfer costs.
 	OutBytes int64
+	// Retries is the task's retry budget as resolved at submission (runtime
+	// defaults and policy applied). Informational for the replay: the
+	// attempts actually taken live in the failure events.
+	Retries int
+	// BackoffSec is the virtual backoff base between a failed attempt and
+	// its retry: attempt k re-queues BackoffSec·2^k after the failure
+	// instant. A policy parameter, deliberately left untouched by Scaled.
+	BackoffSec float64
+}
+
+// FailureEvent records one failed attempt of a task, as observed by the
+// runtime. The replay in internal/cluster charges the failed attempt
+// CostFraction of the task's cost on the node it was placed on, then
+// re-queues the task after its backoff.
+type FailureEvent struct {
+	// Task is the ID of the failing task.
+	Task int
+	// Attempt is the 0-based attempt index that failed.
+	Attempt int
+	// Mode is how the attempt died: "error", "panic" or "timeout".
+	Mode string
+	// CostFraction is the fraction of the task's virtual cost consumed
+	// before the failure instant, in [0, 1].
+	CostFraction float64
 }
 
 // Graph is an append-only record of submitted tasks. It is safe for
 // concurrent use: nested tasks submit from worker goroutines.
 type Graph struct {
-	mu    sync.Mutex
-	tasks []Task
+	mu        sync.Mutex
+	tasks     []Task
+	nameCount map[string]int
+	failures  []FailureEvent
+	degraded  map[int]bool
 }
 
 // New returns an empty graph.
@@ -69,11 +96,121 @@ func New() *Graph { return &Graph{} }
 
 // Add appends a task and returns its assigned ID.
 func (g *Graph) Add(t Task) int {
+	id, _ := g.AddCounted(t)
+	return id
+}
+
+// AddCounted appends a task and returns its assigned ID together with its
+// occurrence index among same-named tasks (0 for the first "svc_fit", 1 for
+// the second, ...). Both are assigned under one lock, so the occurrence
+// order always matches graph-ID order — what fault plans match against.
+func (g *Graph) AddCounted(t Task) (id, occ int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	t.ID = len(g.tasks)
 	g.tasks = append(g.tasks, t)
-	return t.ID
+	if g.nameCount == nil {
+		g.nameCount = map[string]int{}
+	}
+	occ = g.nameCount[t.Name]
+	g.nameCount[t.Name] = occ + 1
+	return t.ID, occ
+}
+
+// RecordFailure appends a failed-attempt event. CostFraction is clamped to
+// [0, 1]; non-finite values become 1 (full cost charged).
+func (g *Graph) RecordFailure(ev FailureEvent) {
+	if !(ev.CostFraction >= 0 && ev.CostFraction <= 1) {
+		ev.CostFraction = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.failures = append(g.failures, ev)
+}
+
+// FailureEvents returns a snapshot of all recorded failed attempts, in
+// record order.
+func (g *Graph) FailureEvents() []FailureEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]FailureEvent, len(g.failures))
+	copy(out, g.failures)
+	return out
+}
+
+// FailuresByTask groups the failure events by task ID, each slice sorted by
+// attempt — the shape the virtual-cluster replay consumes.
+func (g *Graph) FailuresByTask() map[int][]FailureEvent {
+	out := map[int][]FailureEvent{}
+	for _, ev := range g.FailureEvents() {
+		out[ev.Task] = append(out[ev.Task], ev)
+	}
+	for _, evs := range out {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Attempt < evs[j].Attempt })
+	}
+	return out
+}
+
+// MarkDegraded records that a task exhausted its attempts and published its
+// declared fallback instead of a computed value.
+func (g *Graph) MarkDegraded(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.degraded == nil {
+		g.degraded = map[int]bool{}
+	}
+	g.degraded[id] = true
+}
+
+// IsDegraded reports whether the task's published value is its fallback.
+func (g *Graph) IsDegraded(id int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.degraded[id]
+}
+
+// DegradedTasks returns the IDs of degraded tasks in ascending order.
+func (g *Graph) DegradedTasks() []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]int, 0, len(g.degraded))
+	for id := range g.degraded {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Attempts returns how many attempts the task took: failed attempts plus
+// the final successful one — or failed attempts alone when the task
+// degraded (its fallback stood in; nothing succeeded).
+func (g *Graph) Attempts(id int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, ev := range g.failures {
+		if ev.Task == id {
+			n++
+		}
+	}
+	if g.degraded[id] {
+		return n
+	}
+	return n + 1
+}
+
+// WithoutFailures returns a copy of the graph with the same tasks but no
+// failure events or degraded marks — the fault-free baseline a faulty
+// replay is compared against (cmd/scaling -faults).
+func (g *Graph) WithoutFailures() *Graph {
+	out := New()
+	for _, t := range g.Tasks() {
+		deps := make([]Dep, len(t.Deps))
+		copy(deps, t.Deps)
+		t.Deps = deps
+		out.Add(t)
+	}
+	return out
 }
 
 // Len returns the number of captured tasks.
@@ -123,6 +260,29 @@ func (g *Graph) Validate() error {
 		}
 		if t.Cost < 0 {
 			return fmt.Errorf("graph: task %d has negative cost", t.ID)
+		}
+		if t.Retries < 0 {
+			return fmt.Errorf("graph: task %d has negative retry budget", t.ID)
+		}
+		if t.BackoffSec < 0 || t.BackoffSec != t.BackoffSec {
+			return fmt.Errorf("graph: task %d has invalid backoff %v", t.ID, t.BackoffSec)
+		}
+	}
+	n := g.Len()
+	for _, ev := range g.FailureEvents() {
+		if ev.Task < 0 || ev.Task >= n {
+			return fmt.Errorf("graph: failure event references unknown task %d", ev.Task)
+		}
+		if ev.Attempt < 0 {
+			return fmt.Errorf("graph: failure event for task %d has negative attempt", ev.Task)
+		}
+		if !(ev.CostFraction >= 0 && ev.CostFraction <= 1) {
+			return fmt.Errorf("graph: failure event for task %d has cost fraction %v outside [0,1]", ev.Task, ev.CostFraction)
+		}
+	}
+	for _, id := range g.DegradedTasks() {
+		if id < 0 || id >= n {
+			return fmt.Errorf("graph: degraded mark references unknown task %d", id)
 		}
 	}
 	return nil
@@ -303,6 +463,8 @@ func (g *Graph) DOT(title string) string {
 // emulate paper-scale payloads: the captured graph's *structure* comes from
 // a laptop-scale run, while per-task work and data sizes are rescaled to
 // the ratios of the paper's dataset (EXPERIMENTS.md derives the factors).
+// Failure events and degraded marks carry over unchanged; BackoffSec is a
+// retry policy parameter, not workload, and is not scaled.
 func (g *Graph) Scaled(costF, bytesF float64) *Graph {
 	out := New()
 	for _, t := range g.Tasks() {
@@ -312,6 +474,12 @@ func (g *Graph) Scaled(costF, bytesF float64) *Graph {
 		copy(deps, t.Deps)
 		t.Deps = deps
 		out.Add(t)
+	}
+	for _, ev := range g.FailureEvents() {
+		out.RecordFailure(ev)
+	}
+	for _, id := range g.DegradedTasks() {
+		out.MarkDegraded(id)
 	}
 	return out
 }

@@ -271,3 +271,124 @@ func TestScaledMultipliesCostsAndBytes(t *testing.T) {
 		t.Fatal("critical path must scale linearly with cost")
 	}
 }
+
+func TestFailureEventsAndAttempts(t *testing.T) {
+	g := chain(3)
+	g.RecordFailure(FailureEvent{Task: 1, Attempt: 0, Mode: "error", CostFraction: 0.5})
+	g.RecordFailure(FailureEvent{Task: 1, Attempt: 1, Mode: "timeout", CostFraction: 1})
+	g.RecordFailure(FailureEvent{Task: 2, Attempt: 0, Mode: "panic", CostFraction: 0.25})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid failure events rejected: %v", err)
+	}
+	if got := len(g.FailureEvents()); got != 3 {
+		t.Fatalf("FailureEvents returned %d events, want 3", got)
+	}
+	by := g.FailuresByTask()
+	if len(by[1]) != 2 || by[1][0].Attempt != 0 || by[1][1].Attempt != 1 {
+		t.Fatalf("FailuresByTask[1] = %+v", by[1])
+	}
+	if g.Attempts(0) != 1 || g.Attempts(1) != 3 || g.Attempts(2) != 2 {
+		t.Fatalf("Attempts = %d,%d,%d; want 1,3,2",
+			g.Attempts(0), g.Attempts(1), g.Attempts(2))
+	}
+}
+
+func TestRecordFailureClampsFraction(t *testing.T) {
+	g := chain(1)
+	g.RecordFailure(FailureEvent{Task: 0, Attempt: 0, Mode: "error", CostFraction: math.NaN()})
+	g.RecordFailure(FailureEvent{Task: 0, Attempt: 1, Mode: "error", CostFraction: -2})
+	for _, ev := range g.FailureEvents() {
+		if ev.CostFraction != 1 {
+			t.Fatalf("unclamped fraction %v in %+v", ev.CostFraction, ev)
+		}
+	}
+}
+
+func TestDegradedMarks(t *testing.T) {
+	g := chain(3)
+	g.RecordFailure(FailureEvent{Task: 2, Attempt: 0, Mode: "error", CostFraction: 1})
+	g.MarkDegraded(2)
+	if !g.IsDegraded(2) || g.IsDegraded(1) {
+		t.Fatal("degraded marks wrong")
+	}
+	if ids := g.DegradedTasks(); len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("DegradedTasks = %v", ids)
+	}
+	// A degraded task's final "attempt" is its fallback, not an execution.
+	if g.Attempts(2) != 1 {
+		t.Fatalf("Attempts(degraded) = %d, want just the failed one", g.Attempts(2))
+	}
+}
+
+func TestScaledPreservesFailuresWithoutScalingBackoff(t *testing.T) {
+	g := New()
+	g.Add(Task{Name: "a", Parent: -1, Cost: 2, Cores: 1, Retries: 2, BackoffSec: 5})
+	g.RecordFailure(FailureEvent{Task: 0, Attempt: 0, Mode: "error", CostFraction: 0.5})
+	g.MarkDegraded(0)
+	s := g.Scaled(10, 1)
+	if len(s.FailureEvents()) != 1 || !s.IsDegraded(0) {
+		t.Fatal("Scaled dropped failure events or degraded marks")
+	}
+	ts, _ := s.Task(0)
+	if ts.Retries != 2 || ts.BackoffSec != 5 {
+		t.Fatalf("Scaled altered retry policy: %+v (backoff is policy, not workload)", ts)
+	}
+}
+
+func TestWithoutFailuresStripsEvents(t *testing.T) {
+	g := chain(2)
+	g.RecordFailure(FailureEvent{Task: 0, Attempt: 0, Mode: "error", CostFraction: 1})
+	g.MarkDegraded(1)
+	clean := g.WithoutFailures()
+	if clean.Len() != g.Len() {
+		t.Fatal("WithoutFailures changed the task set")
+	}
+	if len(clean.FailureEvents()) != 0 || len(clean.DegradedTasks()) != 0 {
+		t.Fatal("WithoutFailures kept failure state")
+	}
+	if len(g.FailureEvents()) != 1 {
+		t.Fatal("WithoutFailures mutated the source graph")
+	}
+}
+
+func TestAddCountedNumbersOccurrences(t *testing.T) {
+	g := New()
+	_, o0 := g.AddCounted(Task{Name: "x", Parent: -1, Cost: 1, Cores: 1})
+	_, o1 := g.AddCounted(Task{Name: "y", Parent: -1, Cost: 1, Cores: 1})
+	_, o2 := g.AddCounted(Task{Name: "x", Parent: -1, Cost: 1, Cores: 1})
+	if o0 != 0 || o1 != 0 || o2 != 1 {
+		t.Fatalf("occurrences = %d,%d,%d; want 0,0,1", o0, o1, o2)
+	}
+}
+
+func TestValidateRejectsBadFailureState(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(*Graph)
+	}{
+		{"event task out of range", func(g *Graph) {
+			g.RecordFailure(FailureEvent{Task: 99, Attempt: 0, Mode: "error", CostFraction: 1})
+		}},
+		{"negative attempt", func(g *Graph) {
+			g.RecordFailure(FailureEvent{Task: 0, Attempt: -1, Mode: "error", CostFraction: 1})
+		}},
+		{"degraded unknown task", func(g *Graph) { g.MarkDegraded(42) }},
+	}
+	for _, c := range cases {
+		g := chain(2)
+		c.prep(g)
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted invalid failure state", c.name)
+		}
+	}
+	g := New()
+	g.Add(Task{Name: "a", Parent: -1, Cost: 1, Cores: 1, Retries: -1})
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted negative Retries")
+	}
+	g2 := New()
+	g2.Add(Task{Name: "a", Parent: -1, Cost: 1, Cores: 1, BackoffSec: math.NaN()})
+	if err := g2.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN BackoffSec")
+	}
+}

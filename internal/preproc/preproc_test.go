@@ -391,3 +391,51 @@ func TestMinMaxScalerTransformNewData(t *testing.T) {
 		t.Fatalf("mapped values %v, %v; want 0.5, 2", got.At(0, 0), got.At(1, 0))
 	}
 }
+
+// Losing one minmax_partial under Degrade narrows the fitted ranges to the
+// surviving blocks' extremes — the scaler still fits and transforms.
+func TestMinMaxScalerDegradedPartial(t *testing.T) {
+	rt := compss.New(compss.Config{
+		Workers:        4,
+		OnTaskFailure:  compss.Degrade,
+		DefaultRetries: 1,
+		Faults: &compss.FaultPlan{Faults: []compss.Fault{
+			{Name: "minmax_partial", Nth: 0, Attempts: -1, Mode: compss.FaultError},
+		}},
+	})
+	// Two row blocks of a 1-column matrix: block 0 holds the global extremes
+	// [-100, 100], block 1 only [0, 10]. Degrading block 0's partial leaves
+	// the neutral-element fallback, so the fit sees only block 1.
+	m := mat.New(4, 1)
+	m.Set(0, 0, -100)
+	m.Set(1, 0, 100)
+	m.Set(2, 0, 0)
+	m.Set(3, 0, 10)
+	a := dsarray.FromMatrix(rt.Main(), m, 2, 1)
+	var s MinMaxScaler
+	scaled, err := s.FitTransform(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scaled.Collect()
+	if err != nil {
+		t.Fatalf("degraded fit must still transform: %v", err)
+	}
+	// Fitted range is [0, 10]: block 1's rows land on 0 and 1, block 0's
+	// extremes map outside [0, 1].
+	if v := got.At(2, 0); math.Abs(v) > 1e-12 {
+		t.Fatalf("surviving min maps to %v, want 0", v)
+	}
+	if v := got.At(3, 0); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("surviving max maps to %v, want 1", v)
+	}
+	if v := got.At(0, 0); v >= 0 {
+		t.Fatalf("lost block's min maps to %v, want < 0 under narrowed ranges", v)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatalf("Barrier after degraded fit: %v", err)
+	}
+	if n := len(rt.Graph().DegradedTasks()); n != 1 {
+		t.Fatalf("want 1 degraded task, got %d", n)
+	}
+}

@@ -16,4 +16,10 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The fault-tolerance layer retries attempts concurrently with nested
+# submission and deadline timers; run its two packages twice under the race
+# detector to shake out ordering-dependent bugs a single pass can miss.
+echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/..."
+go test -race -count=2 ./internal/compss/... ./internal/cluster/...
+
 echo "ok"
