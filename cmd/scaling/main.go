@@ -106,7 +106,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.IntVar(&ft.every, "faults", 0, "inject a first-attempt failure into every Nth task of the model workflow (0 disables)")
 	flag.IntVar(&ft.retries, "retries", 2, "per-task retry budget when -faults is set")
-	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (attempt k waits backoff·2^k)")
+	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (the retry after failed attempt k waits backoff·2^k)")
 	flag.Parse()
 
 	fmt.Printf("generating dataset (%d rows)...\n", *samples)

@@ -249,9 +249,10 @@ func (h *taskHeap) Pop() interface{} {
 //   - failure events recorded in the graph are replayed: each failed attempt
 //     occupies its chosen node (and re-pulls its inputs) until the failure
 //     instant — CostFraction of the task's duration — then the task
-//     re-queues BackoffSec·2^attempt later and is placed afresh, possibly
-//     on a different node. A degraded task ends at its last failure instant
-//     (its fallback stands in; nothing ran to completion).
+//     re-queues BackoffSec·2^k later (k being the failed attempt's 0-based
+//     index, so the first retry waits the base) and is placed afresh,
+//     possibly on a different node. A degraded task ends at its last
+//     failure instant (its fallback stands in; nothing ran to completion).
 func ScheduleGraph(g *graph.Graph, c Cluster) (*Schedule, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err

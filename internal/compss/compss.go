@@ -36,7 +36,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"taskml/internal/graph"
@@ -60,20 +59,27 @@ type Opts struct {
 	// when a dependent runs on a different node (or via the master).
 	OutBytes int64
 	// Retries is how many times a failed attempt is re-executed before the
-	// task is declared failed. 0 falls back to Config.DefaultRetries; the
-	// FailFast policy forces 0. Retried attempts re-run immediately in real
-	// time — backoff exists only in the replayed schedule, so failure
-	// handling stays deterministic.
+	// task is declared failed. 0 falls back to Config.DefaultRetries; a
+	// negative value opts out explicitly (exactly one attempt, even when the
+	// default is positive); the FailFast policy forces 0. Retried attempts
+	// re-run immediately in real time — backoff exists only in the replayed
+	// schedule, so failure handling stays deterministic.
 	Retries int
-	// Backoff is the virtual-time delay, in seconds, between a failed
-	// attempt and its retry; attempt k waits Backoff·2^k after the failure
-	// instant. 0 falls back to Config.DefaultBackoff. Like Cost it never
-	// affects real execution.
+	// Backoff is the virtual-time base delay, in seconds, between a failed
+	// attempt and its retry: the retry after failed attempt k (0-based)
+	// re-queues Backoff·2^k after the failure instant, so the first retry
+	// waits the base. 0 falls back to Config.DefaultBackoff. Like Cost it
+	// never affects real execution.
 	Backoff float64
 	// Deadline, when positive, bounds each attempt's wall-clock execution.
 	// An attempt that overruns fails with ErrDeadlineExceeded and is retried
 	// like any other failure; its goroutine is abandoned (its eventual
-	// result is discarded).
+	// result is discarded) but keeps running, possibly concurrently with the
+	// retry. The retry shares the resolved argument values with the
+	// abandoned body, so bodies of tasks with a Deadline must treat their
+	// arguments as read-only. The deadline does not extend to nested
+	// children: give long-running children their own Deadline, or Barrier
+	// waits for them even after the parent recovered.
 	Deadline time.Duration
 	// Fallback, when non-nil, is the value published if every attempt fails
 	// under the Degrade policy, letting dependents — typically reduction
@@ -231,10 +237,17 @@ type TaskCtx struct {
 	parent     int  // graph ID of the enclosing task, -1 for main
 	insideTask bool // true when this ctx belongs to a running task body
 
-	// abandoned is set when the attempt owning this context missed its
-	// deadline: the attempt's worker slot was already released, so a
-	// blockingWait from the abandoned body must not touch the semaphore.
-	abandoned atomic.Bool
+	// Attempt slot accounting. A task body starts out owning the worker
+	// slot its attempt acquired; blockingWait parks the body by handing the
+	// slot back to the pool and reacquires it when the awaited value
+	// arrives. A deadline overrun abandons the attempt. The two flags must
+	// change together under slotMu: the timeout handler reclaims the slot
+	// only if the body still holds it (a parked body already gave it back),
+	// and a parked body must never reacquire once abandoned — the retry
+	// owns that capacity now.
+	slotMu    sync.Mutex
+	abandoned bool
+	holdsSlot bool
 
 	mu        sync.Mutex
 	floor     map[int]bool // task IDs synchronised in this context
@@ -318,11 +331,11 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 	// Resolve the effective failure policy now, so the graph records what
 	// the replay should emulate.
 	retries := o.Retries
-	if retries <= 0 {
+	if retries == 0 {
 		retries = tc.rt.cfg.DefaultRetries
 	}
 	if retries < 0 || tc.rt.cfg.OnTaskFailure == FailFast {
-		retries = 0
+		retries = 0 // negative Opts.Retries is an explicit opt-out
 	}
 	backoff := o.Backoff
 	if backoff <= 0 {
@@ -417,19 +430,29 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 		rt.sem <- struct{}{}
 		started := time.Now()
 		queued += started.Sub(attemptReady)
-		child := &TaskCtx{rt: rt, parent: id, insideTask: true}
+		child := &TaskCtx{rt: rt, parent: id, insideTask: true, holdsSlot: true}
 		res := rt.execAttempt(st, child, attempt, nOut, fn, resolved)
-		<-rt.sem
+		if !res.slotLost {
+			<-rt.sem
+		}
 		running += time.Since(started)
 
-		// An attempt is not complete until its children are; a child failure
-		// fails the attempt, so the retry covers the whole nested subtree.
-		cerr := child.waitSubmitted()
-		if res.err == nil && cerr != nil {
-			res = attemptResult{
-				err:  &TaskError{ID: id, Name: st.name, Err: fmt.Errorf("nested task failed: %w", cerr)},
-				mode: "error",
-				frac: 1,
+		if res.mode == "timeout" {
+			// Do not wait for the abandoned attempt's children: Deadline
+			// bounds this task's recovery, and Barrier skips child errors an
+			// ancestor's retry absorbed. Children that can hang forever must
+			// carry their own Deadline, or Barrier will wait on them.
+		} else {
+			// An attempt is not complete until its children are; a child
+			// failure fails the attempt, so the retry covers the whole
+			// nested subtree.
+			cerr := child.waitSubmitted()
+			if res.err == nil && cerr != nil {
+				res = attemptResult{
+					err:  &TaskError{ID: id, Name: st.name, Err: fmt.Errorf("nested task failed: %w", cerr)},
+					mode: "error",
+					frac: 1,
+				}
 			}
 		}
 		if res.err == nil {
@@ -480,6 +503,10 @@ type attemptResult struct {
 	err  error
 	mode string  // "error", "panic" or "timeout"
 	frac float64 // virtual cost fraction consumed before the failure instant
+	// slotLost reports that the attempt's worker slot is already back in the
+	// pool (the timed-out body was parked in blockingWait when abandoned),
+	// so the run loop must not release it a second time.
+	slotLost bool
 }
 
 // execAttempt runs one attempt of the task body inside the caller's worker
@@ -539,15 +566,24 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 	case <-timer.C:
 		// Abandon the attempt: its goroutine keeps running but its result is
 		// discarded, and its context stops touching the worker semaphore.
-		child.abandoned.Store(true)
+		// Atomically take the slot away from the body: if it still holds one
+		// (it is computing), the run loop releases it as usual; if it is
+		// parked in blockingWait, the slot is already back in the pool and
+		// must not be consumed again.
+		child.slotMu.Lock()
+		child.abandoned = true
+		held := child.holdsSlot
+		child.holdsSlot = false
+		child.slotMu.Unlock()
 		if cancel != nil {
 			close(cancel)
 		}
 		return attemptResult{
 			err: &TaskError{ID: st.id, Name: st.name,
 				Err: fmt.Errorf("attempt %d: %w (deadline %v)", attempt, ErrDeadlineExceeded, d)},
-			mode: "timeout",
-			frac: 1, // the node was held until the deadline fired
+			mode:     "timeout",
+			frac:     1, // the node was held until the deadline fired
+			slotLost: !held,
 		}
 	}
 }
@@ -584,17 +620,53 @@ func (tc *TaskCtx) Get(f *Future) (any, error) {
 // blockingWait waits for a future; when called from inside a task body it
 // releases the worker slot while blocked so nested tasks cannot deadlock
 // the pool. An abandoned attempt (deadline overrun) no longer owns a slot
-// and must wait without the release/reacquire dance.
+// and must wait without the release/reacquire dance; abandonment can also
+// land while the body is parked here, in which case the slot stays with the
+// pool (the retry owns that capacity) and the body resumes slotless.
 func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
-	if !tc.insideTask || tc.abandoned.Load() {
+	if !tc.insideTask {
+		return f.wait()
+	}
+	tc.slotMu.Lock()
+	if tc.abandoned || !tc.holdsSlot {
+		tc.slotMu.Unlock()
 		return f.wait()
 	}
 	select {
-	case <-f.st.done: // already resolved, no need to release the slot
+	case <-f.st.done: // already resolved, keep the slot
+		tc.slotMu.Unlock()
+		return f.wait()
 	default:
-		<-tc.rt.sem
-		defer func() { tc.rt.sem <- struct{}{} }()
 	}
+	// Park: hand the slot back. The receive never blocks — this attempt
+	// holds a slot, so the pool has at least its token.
+	<-tc.rt.sem
+	tc.holdsSlot = false
+	tc.slotMu.Unlock()
+
+	<-f.st.done
+
+	// Reacquire before resuming the body, unless the attempt was abandoned
+	// while parked — its deadline handler saw holdsSlot == false and left
+	// the capacity to the retry.
+	tc.slotMu.Lock()
+	if tc.abandoned {
+		tc.slotMu.Unlock()
+		return f.wait()
+	}
+	tc.slotMu.Unlock()
+	tc.rt.sem <- struct{}{}
+	tc.slotMu.Lock()
+	if tc.abandoned {
+		// Abandoned while blocked on the reacquire: return the token. The
+		// receive never blocks — the send above put a token in the pool and
+		// every other holder only ever receives its own.
+		tc.slotMu.Unlock()
+		<-tc.rt.sem
+		return f.wait()
+	}
+	tc.holdsSlot = true
+	tc.slotMu.Unlock()
 	return f.wait()
 }
 

@@ -360,6 +360,140 @@ func TestFaultMatchingByOccurrence(t *testing.T) {
 	}
 }
 
+// Regression (review): with a single worker, a parent whose deadline fires
+// while it is parked in Get on a slow child used to corrupt the semaphore
+// accounting — the timeout handler consumed a token the parked body had
+// already given back, the child then hung on its own release, and the
+// workflow deadlocked. The retry must recover, and the pool must still be
+// exactly Workers wide afterwards.
+func TestDeadlineAbandonWhileParkedInGetDoesNotDeadlock(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	var parentRuns atomic.Int32
+	parent := rt.Submit(Opts{Name: "parent", Deadline: 50 * time.Millisecond, Retries: 1},
+		func(tc *TaskCtx, _ []any) (any, error) {
+			slow := parentRuns.Add(1) == 1
+			c := tc.Submit(Opts{Name: "child"}, func(_ *TaskCtx, _ []any) (any, error) {
+				if slow {
+					time.Sleep(250 * time.Millisecond) // outlives the parent's deadline
+				}
+				return 5, nil
+			})
+			v, err := tc.Get(c) // parks, releasing the only slot
+			if err != nil {
+				return nil, err
+			}
+			return v.(int) + 1, nil
+		})
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := rt.Get(parent)
+		done <- outcome{v, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil || o.v != 6 {
+			t.Fatalf("got (%v, %v), want the retry to publish 6", o.v, o.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("workflow deadlocked after deadline abandonment")
+	}
+	barrier := make(chan error, 1)
+	go func() { barrier <- rt.Barrier() }()
+	select {
+	case err := <-barrier:
+		if err != nil {
+			t.Fatalf("Barrier after recovery: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Barrier deadlocked after deadline abandonment")
+	}
+
+	// The pool must still be exactly one slot wide: if the abandonment
+	// leaked a token, these probes overlap; if it lost one, they hang.
+	var cur, peak atomic.Int32
+	probe := func(_ *TaskCtx, _ []any) (any, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		cur.Add(-1)
+		return nil, nil
+	}
+	rt.Submit(Opts{Name: "probe"}, probe)
+	rt.Submit(Opts{Name: "probe"}, probe)
+	go func() { barrier <- rt.Barrier() }()
+	select {
+	case err := <-barrier:
+		if err != nil {
+			t.Fatalf("probe Barrier: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker pool lost a slot to the abandoned attempt")
+	}
+	if p := peak.Load(); p != 1 {
+		t.Fatalf("peak concurrency %d with Workers=1: abandonment leaked a slot", p)
+	}
+}
+
+// Regression (review): a deadline retry must not wait for the abandoned
+// attempt's still-running children — Opts.Deadline bounds the task's own
+// recovery. With spare capacity the retry completes while the abandoned
+// child is still asleep; Barrier still waits for (and absorbs) it.
+func TestDeadlineRetryDoesNotWaitForAbandonedChildren(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	var attempts atomic.Int32
+	start := time.Now()
+	parent := rt.Submit(Opts{Name: "parent", Deadline: 50 * time.Millisecond, Retries: 1},
+		func(tc *TaskCtx, _ []any) (any, error) {
+			if attempts.Add(1) == 1 {
+				c := tc.Submit(Opts{Name: "lingering"}, func(_ *TaskCtx, _ []any) (any, error) {
+					time.Sleep(1200 * time.Millisecond)
+					return nil, nil
+				})
+				tc.Get(c) // parks past the deadline
+			}
+			return "ok", nil
+		})
+	v, err := rt.Get(parent)
+	if err != nil || v != "ok" {
+		t.Fatalf("got (%v, %v), want the retry to publish ok", v, err)
+	}
+	if el := time.Since(start); el > 600*time.Millisecond {
+		t.Fatalf("retry took %v — it waited for the abandoned child", el)
+	}
+	if err := rt.Barrier(); err != nil {
+		t.Fatalf("Barrier after recovery: %v", err)
+	}
+}
+
+// Regression (review): Opts.Retries < 0 is an explicit opt-out that beats a
+// positive Config.DefaultRetries — exactly one attempt runs.
+func TestNegativeRetriesOptsOutOfDefault(t *testing.T) {
+	rt := New(Config{Workers: 1, DefaultRetries: 3, Faults: &FaultPlan{Faults: []Fault{
+		{Name: "once", Nth: 0, Attempts: -1, Mode: FaultError},
+	}}})
+	f := rt.Submit(Opts{Name: "once", Retries: -1}, constTask(1))
+	if _, err := rt.Get(f); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("want the injected failure to surface, got %v", err)
+	}
+	if n := len(rt.Graph().FailureEvents()); n != 1 {
+		t.Fatalf("ran %d attempts, want exactly 1", n)
+	}
+	tk, _ := rt.Graph().Task(f.TaskID())
+	if tk.Retries != 0 {
+		t.Fatalf("graph records retry budget %d, want 0", tk.Retries)
+	}
+}
+
 // Runtime-level defaults apply when Opts stay zero, and per-task Opts win.
 func TestDefaultRetriesFromConfig(t *testing.T) {
 	rt := New(Config{Workers: 1, DefaultRetries: 2, Faults: &FaultPlan{Faults: []Fault{

@@ -60,8 +60,9 @@ type Task struct {
 	// attempts actually taken live in the failure events.
 	Retries int
 	// BackoffSec is the virtual backoff base between a failed attempt and
-	// its retry: attempt k re-queues BackoffSec·2^k after the failure
-	// instant. A policy parameter, deliberately left untouched by Scaled.
+	// its retry: the retry after failed attempt k (0-based) re-queues
+	// BackoffSec·2^k after the failure instant, so the first retry waits
+	// the base. A policy parameter, deliberately left untouched by Scaled.
 	BackoffSec float64
 }
 
