@@ -24,6 +24,7 @@ import (
 	"taskml/internal/knn"
 	"taskml/internal/mat"
 	"taskml/internal/svm"
+	"taskml/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -587,4 +588,40 @@ func BenchmarkAblationAugmentationKNN(b *testing.B) {
 	b.ReportMetric(100*accWith, "acc%_balanced")
 	b.ReportMetric(100*accWithout, "acc%_imbalanced")
 	b.Logf("KNN accuracy: balanced %.3f vs imbalanced %.3f", accWith, accWithout)
+}
+
+// ---------------------------------------------------------------------------
+// Observer-layer overhead (the PR's contract: a runtime with no observers
+// attached must pay nothing for the event layer on the submit path)
+
+// BenchmarkSubmitNoObserver measures the per-task submit+get cost of a bare
+// runtime — the baseline the zero-observer fast path must hold.
+func BenchmarkSubmitNoObserver(b *testing.B) {
+	rt := compss.New(compss.Config{Workers: 4})
+	noop := func(_ *compss.TaskCtx, _ []any) (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := rt.Submit(compss.Opts{Name: "noop"}, noop)
+		if _, err := rt.Get(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitTraced is the same workload with a trace.Collector
+// attached: the delta against BenchmarkSubmitNoObserver is the full cost
+// of recording every lifecycle event.
+func BenchmarkSubmitTraced(b *testing.B) {
+	rt := compss.New(compss.Config{Workers: 4,
+		Observers: []compss.Observer{trace.NewCollector()}})
+	noop := func(_ *compss.TaskCtx, _ []any) (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := rt.Submit(compss.Opts{Name: "noop"}, noop)
+		if _, err := rt.Get(f); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

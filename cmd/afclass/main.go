@@ -10,6 +10,7 @@
 //	afclass                      # all four models, laptop-scale dataset
 //	afclass -model rf            # a single model
 //	afclass -scale 4             # 4× the class counts (slower, smoother)
+//	afclass -trace run.json      # Chrome trace of the run (open in Perfetto)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"taskml/internal/compss"
 	"taskml/internal/core"
 	"taskml/internal/par"
+	"taskml/internal/trace"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "runtime worker goroutines (0 = GOMAXPROCS)")
 	nested := flag.Bool("nested", false, "use nesting for the CNN (Figure 10)")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the real execution to this file")
 	flag.Parse()
 
 	// Dataset construction runs on the master, before any task runtime
@@ -49,6 +52,14 @@ func main() {
 	cfg.Workers = *workers
 	cfg.CNNNested = *nested
 
+	// One collector spans the PCA runtime and every per-model runtime, so
+	// the exported trace shows the whole experiment on a shared clock.
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector()
+		cfg.Observers = []compss.Observer{collector}
+	}
+
 	// From here on, parallelism belongs to the task runtime: cap the
 	// shared kernel layer at one goroutine per task body so W workers ×
 	// kernel threads never oversubscribe the machine (see internal/par).
@@ -57,7 +68,7 @@ func main() {
 	// The PCA stage is shared by all models (the paper excludes its
 	// constant time from the per-model results); run it once.
 	start = time.Now()
-	rt := compss.New(compss.Config{Workers: *workers})
+	rt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers})
 	rx, k, err := core.ReduceWithPCA(rt, ds, cfg)
 	if err != nil {
 		fatal(err)
@@ -70,7 +81,7 @@ func main() {
 	}
 	for _, m := range models {
 		start = time.Now()
-		mrt := compss.New(compss.Config{Workers: *workers})
+		mrt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers})
 		rep, err := core.RunCVReduced(m, mrt, rx, k, ds.Y, cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", m, err))
@@ -80,6 +91,14 @@ func main() {
 			100*rep.Accuracy(), rep.Confusion.Precision(core.LabelAF), rep.Confusion.Recall(core.LabelAF))
 		fmt.Println(rep.RenderConfusion())
 		fmt.Printf("captured task graph: %d tasks\n\n", mrt.Graph().Len())
+	}
+
+	if collector != nil {
+		if err := collector.Chrome().WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
+			len(collector.Events()), *traceOut)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	gantt -model cnn -nodes 5 -csv > g.csv
 //	gantt -model rf -nodes 2 -faults 9    # replay with injected failures;
 //	                                      # lost attempts appear as name!k rows
+//	gantt -model rf -faults 9 -trace replay.json   # replayed schedule as a
+//	                                      # Chrome trace (open in Perfetto)
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	faults := flag.Int("faults", 0, "inject a first-attempt failure into every Nth task (0 disables)")
 	retries := flag.Int("retries", 2, "per-task retry budget when -faults is set")
 	backoff := flag.Float64("backoff", 5, "virtual-time retry backoff base in seconds")
+	traceOut := flag.String("trace", "", "write the replayed schedule as a Chrome trace to this file")
 	flag.Parse()
 
 	ds, err := core.BuildDataset(core.DataConfig{
@@ -88,6 +91,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *traceOut != "" {
+		if err := s.ChromeTrace(g).WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gantt: replay trace -> %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 	if *csv {
 		fmt.Print(s.GanttCSV(g))
 		return

@@ -26,12 +26,17 @@
 //
 //	scaling -exp csvm -faults 7              # kill task 0, 7, 14, ...
 //	scaling -exp rf -faults 5 -retries 3
+//
+// With -trace base.json the real execution's Chrome trace is written to
+// base.json and the replayed schedule of the sweep's last cluster size to
+// base.replay.json — both open in Perfetto (https://ui.perfetto.dev).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"taskml/internal/cluster"
 	"taskml/internal/compss"
@@ -43,6 +48,7 @@ import (
 	"taskml/internal/par"
 	"taskml/internal/preproc"
 	"taskml/internal/svm"
+	"taskml/internal/trace"
 )
 
 // Paper-scale emulation factors (derivations in EXPERIMENTS.md): the
@@ -77,6 +83,45 @@ var ft struct {
 	backoff float64
 }
 
+// collector captures the real execution's event stream when -trace is set;
+// traceOut is the output path. Shared by the runners the same way ft is.
+var (
+	collector *trace.Collector
+	traceOut  string
+)
+
+// replayPath derives the replay trace's file name from -trace's value:
+// base.json → base.replay.json.
+func replayPath(p string) string {
+	return strings.TrimSuffix(p, ".json") + ".replay.json"
+}
+
+// writeReplayTrace exports the replayed schedule of the sweep's last
+// cluster configuration when -trace is set.
+func writeReplayTrace(s *cluster.Schedule, g *graph.Graph) {
+	if traceOut == "" || s == nil {
+		return
+	}
+	out := replayPath(traceOut)
+	if err := s.ChromeTrace(g).WriteFile(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replay trace -> %s\n\n", out)
+}
+
+// writeRunTrace exports the real execution's collected events; called once
+// after the experiment finished.
+func writeRunTrace() {
+	if collector == nil {
+		return
+	}
+	if err := collector.Chrome().WriteFile(traceOut); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run trace: %d events -> %s (open in https://ui.perfetto.dev)\n",
+		len(collector.Events()), traceOut)
+}
+
 // faultPlan returns the injection plan for the model workflow, or nil when
 // -faults is off: the first attempt of every Nth task (by graph ID) fails
 // halfway through its virtual cost.
@@ -89,8 +134,12 @@ func faultPlan() *compss.FaultPlan {
 	}}
 }
 
-// withFaults applies the -faults settings to a pipeline configuration.
+// withFaults applies the -faults and -trace settings to a pipeline
+// configuration.
 func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
+	if collector != nil {
+		cfg.Observers = []compss.Observer{collector}
+	}
 	if ft.every <= 0 {
 		return cfg
 	}
@@ -107,7 +156,11 @@ func main() {
 	flag.IntVar(&ft.every, "faults", 0, "inject a first-attempt failure into every Nth task of the model workflow (0 disables)")
 	flag.IntVar(&ft.retries, "retries", 2, "per-task retry budget when -faults is set")
 	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (the retry after failed attempt k waits backoff·2^k)")
+	flag.StringVar(&traceOut, "trace", "", "write Chrome traces: the real run to this file, the last replayed schedule to <name>.replay.json")
 	flag.Parse()
+	if traceOut != "" {
+		collector = trace.NewCollector()
+	}
 
 	fmt.Printf("generating dataset (%d rows)...\n", *samples)
 	// The scaling experiments need the workflow structure and costs, not
@@ -130,12 +183,18 @@ func main() {
 
 	if *exp == "pca" {
 		runPCA(ds)
+		writeRunTrace()
 		return
 	}
 
 	// The paper's Figure 11 protocol: PCA runs first and its time is not
-	// counted; models train on the reduced features.
-	rt := compss.New(compss.Config{})
+	// counted; models train on the reduced features. The trace collector
+	// still spans it: the exported run shows the whole experiment.
+	var obs []compss.Observer
+	if collector != nil {
+		obs = []compss.Observer{collector}
+	}
+	rt := compss.New(compss.Config{Observers: obs})
 	rx, k, err := core.ReduceWithPCA(rt, ds, core.PipelineConfig{BlockRows: 100, BlockCols: 100})
 	if err != nil {
 		fatal(err)
@@ -154,6 +213,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
+	writeRunTrace()
 }
 
 func sweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
@@ -165,6 +225,7 @@ func sweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
 		title, g.Len(), g.CriticalPath(), g.TotalCost())
 	fmt.Printf("%8s %8s %12s %10s %12s\n", "nodes", "cores", "time (s)", "speedup", "utilization")
 	var base float64
+	var last *cluster.Schedule
 	for _, c := range configs {
 		s, err := cluster.ScheduleGraph(g, c)
 		if err != nil {
@@ -175,8 +236,10 @@ func sweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
 		}
 		fmt.Printf("%8d %8d %12.2f %10.2fx %11.1f%%\n",
 			len(c.Nodes), c.TotalCores(), s.Makespan, base/s.Makespan, 100*s.Utilization)
+		last = s
 	}
 	fmt.Println()
+	writeReplayTrace(last, g)
 }
 
 // faultSweepTable compares the fault-injected replay against the fault-free
@@ -212,6 +275,7 @@ func faultSweepTable(title string, g *graph.Graph, configs []cluster.Cluster) {
 		fmt.Print(last.RecoverySummary(g))
 	}
 	fmt.Println()
+	writeReplayTrace(last, g)
 }
 
 // runCSVM regenerates Figure 11a: the paper runs 6 tasks per node, each
@@ -285,6 +349,8 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 	fmt.Println("=== Figure 12 — EDDL CNN training configurations")
 	fmt.Printf("%-36s %12s %10s\n", "configuration", "time (s)", "speedup")
 	var base float64
+	var lastSched *cluster.Schedule
+	var lastGraph *graph.Graph
 	for _, v := range variants {
 		rt, err := core.TrainGraph(core.ModelCNN, x, y, withFaults(core.PipelineConfig{
 			Seed:      seed,
@@ -304,6 +370,7 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 		if base == 0 {
 			base = s.Makespan
 		}
+		lastSched, lastGraph = s, g
 		fmt.Printf("%-36s %12.2f %9.2fx\n", v.label, s.Makespan, base/s.Makespan)
 		if len(g.FailureEvents()) > 0 {
 			s0, err := cluster.ScheduleGraph(g.WithoutFailures(), v.cluster)
@@ -318,6 +385,7 @@ func runCNN(x *mat.Dense, y []int, seed int64) {
 		}
 	}
 	fmt.Println()
+	writeReplayTrace(lastSched, lastGraph)
 }
 
 // runPCA reports the PCA stage on its own — the paper notes it takes about
@@ -326,6 +394,9 @@ func runPCA(ds *core.Dataset) {
 	var rcfg compss.Config
 	if ft.every > 0 {
 		rcfg = compss.Config{Faults: faultPlan(), DefaultRetries: ft.retries, DefaultBackoff: ft.backoff}
+	}
+	if collector != nil {
+		rcfg.Observers = []compss.Observer{collector}
 	}
 	rt := compss.New(rcfg)
 	xa := dsarray.FromMatrix(rt.Main(), ds.X, 100, 100)

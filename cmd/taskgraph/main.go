@@ -20,9 +20,11 @@ import (
 	"os"
 	"time"
 
+	"taskml/internal/compss"
 	"taskml/internal/core"
 	"taskml/internal/eddl"
 	"taskml/internal/par"
+	"taskml/internal/trace"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	blockRows := flag.Int("block-rows", 40, "ds-array row-block size")
 	stats := flag.Bool("stats", false, "print graph statistics instead of DOT")
 	provenance := flag.Bool("provenance", false, "print a provenance JSON record instead of DOT")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the captured run to this file")
 	flag.Parse()
 
 	ds, err := core.BuildDataset(core.DataConfig{
@@ -58,6 +61,11 @@ func main() {
 		m = core.ModelCNN
 		cfg.CNNNested = true
 	}
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector()
+		cfg.Observers = []compss.Observer{collector}
+	}
 
 	// The graph of interest is the training workflow (the paper's figures
 	// show fit-time task graphs).
@@ -66,6 +74,12 @@ func main() {
 		fatal(err)
 	}
 	g := rt.Graph()
+	if collector != nil {
+		if err := collector.Chrome().WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "taskgraph: trace -> %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 	if *provenance {
 		p := g.Export(*model, map[string]string{
 			"samples":    fmt.Sprint(*samples),

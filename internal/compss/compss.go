@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskml/internal/graph"
@@ -130,6 +131,10 @@ type Config struct {
 	// Faults injects deterministic failures into chosen attempts (tests,
 	// cmd/scaling -faults). Nil injects nothing.
 	Faults *FaultPlan
+	// Observers receive task lifecycle events (see observer.go). The slice
+	// is copied at New; attaching no observers keeps the submit path free
+	// of instrumentation cost (one atomic nil-check per would-be event).
+	Observers []Observer
 }
 
 // Runtime executes tasks and captures the workflow graph.
@@ -138,7 +143,13 @@ type Runtime struct {
 	cfg  Config
 	sem  chan struct{}
 	main *TaskCtx
-	rec  statsRecorder
+
+	// obs is the copy-on-write observer list; nil when no observer is
+	// attached (the zero-cost default). statsObs is the observer behind the
+	// deprecated EnableStats/Stats compatibility surface, nil until
+	// EnableStats.
+	obs      atomic.Pointer[[]Observer]
+	statsObs atomic.Pointer[StatsObserver]
 
 	mu   sync.Mutex
 	all  []*taskState
@@ -162,6 +173,11 @@ func New(cfg Config) *Runtime {
 		cfg: cfg,
 		sem: make(chan struct{}, w),
 	}
+	if len(cfg.Observers) > 0 {
+		obs := make([]Observer, len(cfg.Observers))
+		copy(obs, cfg.Observers)
+		rt.obs.Store(&obs)
+	}
 	rt.main = &TaskCtx{rt: rt, parent: -1, insideTask: false}
 	return rt
 }
@@ -171,28 +187,46 @@ func New(cfg Config) *Runtime {
 // (after Barrier).
 func (rt *Runtime) Graph() *graph.Graph { return rt.g }
 
-// Main returns the main-program task context. Submit/Get/Barrier on the
-// Runtime are shorthands for the same methods on Main().
+// Main returns the main-program task context.
+//
+// Every Runtime convenience method below is a thin, documented forward to
+// the same method on Main(): there is exactly one submission code path
+// (TaskCtx.submit) and one synchronisation code path (TaskCtx.Get /
+// blockingWait), which is also where the Observer events are emitted — one
+// code path, one instrumentation point.
 func (rt *Runtime) Main() *TaskCtx { return rt.main }
 
-// Submit schedules fn as a task of the main program. See TaskCtx.Submit.
+// Submit schedules fn as a task of the main program.
+// It forwards to Main().Submit; see TaskCtx.Submit.
 func (rt *Runtime) Submit(o Opts, fn TaskFunc, args ...any) *Future {
 	return rt.main.Submit(o, fn, args...)
 }
 
 // SubmitN schedules a task with nOut outputs from the main program.
+// It forwards to Main().SubmitN; see TaskCtx.SubmitN.
 func (rt *Runtime) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*Future {
 	return rt.main.SubmitN(o, nOut, fn, args...)
 }
 
 // Get synchronises on f from the main program: it blocks until the value is
-// available and raises the main sync floor. See TaskCtx.Get.
+// available and raises the main sync floor.
+// It forwards to Main().Get; see TaskCtx.Get.
 func (rt *Runtime) Get(f *Future) (any, error) { return rt.main.Get(f) }
+
+// GetAll resolves a slice of futures from the main program with Get
+// semantics. It forwards to Main().GetAll; see TaskCtx.GetAll.
+func (rt *Runtime) GetAll(fs []*Future) ([]any, error) { return rt.main.GetAll(fs) }
+
+// WaitAll waits for every task submitted through the main context and
+// raises the main sync floor past all of them.
+// It forwards to Main().WaitAll; see TaskCtx.WaitAll.
+func (rt *Runtime) WaitAll() error { return rt.main.WaitAll() }
 
 // Barrier waits for every task submitted so far (in any context) and
 // returns the first error in submission order, if any. Like a PyCOMPSs
 // barrier it is also a synchronisation: tasks submitted afterwards start,
 // in virtual time, after everything before the barrier.
+// It forwards to Main()'s global barrier.
 func (rt *Runtime) Barrier() error { return rt.main.barrierAll() }
 
 // taskState is the shared completion record behind one or more Futures.
@@ -378,6 +412,9 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 	tc.submitted = append(tc.submitted, futs[0])
 	tc.mu.Unlock()
 
+	// Emit before the run goroutine spawns so Submit is causally first in
+	// the task's event sequence.
+	tc.rt.emit(EventSubmit, st, -1, nil, "", false)
 	go tc.rt.run(st, id, nOut, fn, args)
 	return futs
 }
@@ -386,22 +423,23 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 // acquire a worker slot, run the body (with panic containment, deadline and
 // fault injection), wait for the attempt's nested children — retrying while
 // the budget lasts, and finally publish the value, the declared fallback
-// (Degrade), or the failure.
+// (Degrade), or the failure. Each transition emits the matching Observer
+// event (see observer.go for the guaranteed per-task sequences); the
+// StatsObserver derives the legacy TaskStats entirely from this stream.
 func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any) {
 	defer close(st.done)
-	submitted := time.Now()
 
 	// Resolve arguments outside the worker slot so blocked tasks do not
 	// hold execution capacity. A failed dependency means this task never
-	// runs — it still records a TaskStat (zero Duration, zero Attempts, real
-	// WaitDeps) so StatsSummary accounts for every graph node.
+	// runs — it still emits a terminal "deps" failure event so observers
+	// (and through them StatsSummary) account for every graph node.
 	resolved := make([]any, len(args))
 	for i, a := range args {
 		switch v := a.(type) {
 		case *Future:
 			val, err := v.wait()
 			if err != nil {
-				rt.failDeps(st, submitted, err)
+				rt.failDeps(st, err)
 				return
 			}
 			resolved[i] = val
@@ -410,7 +448,7 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 			for j, f := range v {
 				val, err := f.wait()
 				if err != nil {
-					rt.failDeps(st, submitted, err)
+					rt.failDeps(st, err)
 					return
 				}
 				vals[j] = val
@@ -420,22 +458,20 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 			resolved[i] = a
 		}
 	}
+	rt.emit(EventDepsReady, st, -1, nil, "", false)
 
-	depsReady := time.Now()
-	attemptReady := depsReady
-	var queued, running time.Duration
-	attempts := 0
 	for attempt := 0; ; attempt++ {
-		attempts = attempt + 1
 		rt.sem <- struct{}{}
-		started := time.Now()
-		queued += started.Sub(attemptReady)
+		rt.emit(EventStart, st, attempt, nil, "", false)
 		child := &TaskCtx{rt: rt, parent: id, insideTask: true, holdsSlot: true}
 		res := rt.execAttempt(st, child, attempt, nOut, fn, resolved)
 		if !res.slotLost {
 			<-rt.sem
 		}
-		running += time.Since(started)
+		// The body is done and the slot released; End events are stamped
+		// here so End−Start measures body execution, not the bookkeeping
+		// (nested-children wait) below.
+		bodyDone := time.Now()
 
 		if res.mode == "timeout" {
 			// Do not wait for the abandoned attempt's children: Deadline
@@ -457,13 +493,15 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 		}
 		if res.err == nil {
 			st.vals = res.vals
+			rt.emitAt(EventEnd, st, attempt, bodyDone, nil, "", false)
 			break
 		}
 		rt.g.RecordFailure(graph.FailureEvent{
-			Task: id, Attempt: attempt, Mode: res.mode, CostFraction: res.frac,
+			Task: id, Attempt: attempt, Mode: res.mode, CostFraction: res.frac, At: bodyDone,
 		})
 		if attempt < st.retries {
-			attemptReady = time.Now()
+			rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false)
+			rt.emit(EventRetry, st, attempt+1, nil, "", false)
 			continue
 		}
 		if rt.cfg.OnTaskFailure == Degrade {
@@ -471,29 +509,22 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 				st.vals = vals
 				st.degraded = true
 				rt.g.MarkDegraded(id)
+				rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false)
+				rt.emit(EventDegrade, st, attempt, nil, "", false)
 				break
 			}
 		}
 		st.err = res.err
+		rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, true)
 		break
 	}
-
-	rt.rec.add(TaskStat{
-		ID:       id,
-		Name:     st.name,
-		WaitDeps: depsReady.Sub(submitted),
-		Queued:   queued,
-		Duration: running,
-		Attempts: attempts,
-		Degraded: st.degraded,
-	})
 }
 
-// failDeps records a dep-resolution failure: a collapsed DepError plus the
-// TaskStat the old runtime forgot.
-func (rt *Runtime) failDeps(st *taskState, submitted time.Time, err error) {
+// failDeps records a dep-resolution failure: a collapsed DepError, surfaced
+// to observers as a terminal Failure with Attempt -1 and Mode "deps".
+func (rt *Runtime) failDeps(st *taskState, err error) {
 	st.err = depError(st.id, st.name, err)
-	rt.rec.add(TaskStat{ID: st.id, Name: st.name, WaitDeps: time.Since(submitted)})
+	rt.emit(EventFailure, st, -1, st.err, "deps", true)
 }
 
 // attemptResult is one attempt's outcome; mode and frac feed the graph's

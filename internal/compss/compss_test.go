@@ -8,7 +8,6 @@ import (
 	"testing"
 	"time"
 
-	"taskml/internal/cluster"
 	"taskml/internal/graph"
 )
 
@@ -401,43 +400,6 @@ func TestGetAll(t *testing.T) {
 		if v.(int) != i {
 			t.Fatalf("GetAll[%d] = %v", i, v)
 		}
-	}
-}
-
-func TestCapturedGraphSchedulesOnCluster(t *testing.T) {
-	// End-to-end: run a small map-reduce, then replay the captured graph on
-	// two cluster sizes and check the parallel one is faster.
-	rt := New(Config{Workers: 4})
-	var parts []*Future
-	for i := 0; i < 16; i++ {
-		parts = append(parts, rt.Submit(Opts{Name: "map", Cost: 1}, constTask(1)))
-	}
-	red := rt.Submit(Opts{Name: "reduce", Cost: 0.5}, func(_ *TaskCtx, args []any) (any, error) {
-		s := 0
-		for _, v := range args[0].([]any) {
-			s += v.(int)
-		}
-		return s, nil
-	}, parts)
-	v, err := rt.Get(red)
-	if err != nil || v.(int) != 16 {
-		t.Fatalf("reduce = %v, %v", v, err)
-	}
-
-	g := rt.Graph()
-	small, err := cluster.ScheduleGraph(g, cluster.Homogeneous("small", 1, 2, 0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	big, err := cluster.ScheduleGraph(g, cluster.Homogeneous("big", 1, 16, 0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if big.Makespan >= small.Makespan {
-		t.Fatalf("16 cores (%v) not faster than 2 cores (%v)", big.Makespan, small.Makespan)
-	}
-	if big.Makespan < g.CriticalPath() {
-		t.Fatalf("makespan %v below critical path %v", big.Makespan, g.CriticalPath())
 	}
 }
 

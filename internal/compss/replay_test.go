@@ -1,0 +1,49 @@
+// External test package: internal/cluster (transitively internal/trace)
+// imports compss, so the end-to-end replay test cannot live in the compss
+// package itself without an import cycle.
+package compss_test
+
+import (
+	"testing"
+
+	"taskml/internal/cluster"
+	"taskml/internal/compss"
+)
+
+func TestCapturedGraphSchedulesOnCluster(t *testing.T) {
+	// End-to-end: run a small map-reduce, then replay the captured graph on
+	// two cluster sizes and check the parallel one is faster.
+	rt := compss.New(compss.Config{Workers: 4})
+	var parts []*compss.Future
+	for i := 0; i < 16; i++ {
+		parts = append(parts, rt.Submit(compss.Opts{Name: "map", Cost: 1},
+			func(_ *compss.TaskCtx, _ []any) (any, error) { return 1, nil }))
+	}
+	red := rt.Submit(compss.Opts{Name: "reduce", Cost: 0.5}, func(_ *compss.TaskCtx, args []any) (any, error) {
+		s := 0
+		for _, v := range args[0].([]any) {
+			s += v.(int)
+		}
+		return s, nil
+	}, parts)
+	v, err := rt.Get(red)
+	if err != nil || v.(int) != 16 {
+		t.Fatalf("reduce = %v, %v", v, err)
+	}
+
+	g := rt.Graph()
+	small, err := cluster.ScheduleGraph(g, cluster.Homogeneous("small", 1, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cluster.ScheduleGraph(g, cluster.Homogeneous("big", 1, 16, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Makespan >= small.Makespan {
+		t.Fatalf("16 cores (%v) not faster than 2 cores (%v)", big.Makespan, small.Makespan)
+	}
+	if big.Makespan < g.CriticalPath() {
+		t.Fatalf("makespan %v below critical path %v", big.Makespan, g.CriticalPath())
+	}
+}

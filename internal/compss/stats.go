@@ -8,6 +8,16 @@ import (
 	"time"
 )
 
+// AttemptStat is the timing of one executed attempt of a task: how long it
+// waited for a worker slot after becoming runnable, how long its body ran,
+// and how it ended. The per-attempt split is what makes retry cost
+// attributable — TaskStat.Queued/Duration are its sums.
+type AttemptStat struct {
+	Queued  time.Duration // runnable (deps ready / retry queued) → body start
+	Run     time.Duration // body start → body return
+	Outcome string        // "ok", "error", "panic" or "timeout"
+}
+
 // TaskStat records the real execution of one task (wall-clock, not virtual
 // time): useful for profiling the Go implementation itself and for
 // validating that the analytic cost model orders kernels sensibly.
@@ -18,69 +28,184 @@ type TaskStat struct {
 	Queued   time.Duration // dependencies resolved → body start (worker-slot wait), summed over attempts
 	Duration time.Duration // body execution, summed over attempts
 	Attempts int           // executed attempts; 0 means a dependency failed and the body never ran
-	Degraded bool          // the published value is the declared fallback
+	// PerAttempt breaks Queued/Duration down attempt by attempt, in attempt
+	// order; len(PerAttempt) == Attempts.
+	PerAttempt []AttemptStat
+	Failed     bool // the task's terminal outcome was a failure (deps or exhausted attempts)
+	Degraded   bool // the published value is the declared fallback
 }
 
-// statsRecorder accumulates TaskStats when enabled.
-type statsRecorder struct {
+// statBuild accumulates one task's in-flight timings between its Submit
+// event and its terminal event.
+type statBuild struct {
+	submitted time.Time
+	runnable  time.Time // deps-ready or retry instant: start of the current slot wait
+	started   time.Time // current attempt's body start
+	stat      TaskStat
+}
+
+// StatsObserver is the built-in profiling Observer: it folds the runtime's
+// event stream back into per-task TaskStats, preserving the semantics of the
+// pre-Observer stats recorder (WaitDeps / Queued / Duration split, one stat
+// per submitted task, dep-failed tasks included) while adding the
+// per-attempt breakdown. Attach it via Config.Observers — or use the
+// deprecated Runtime.EnableStats, which attaches a default instance.
+type StatsObserver struct {
 	mu    sync.Mutex
-	on    bool
+	open  map[int]*statBuild
 	stats []TaskStat
 }
 
-func (r *statsRecorder) add(s TaskStat) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.on {
-		r.stats = append(r.stats, s)
+// NewStatsObserver returns an empty stats sink.
+func NewStatsObserver() *StatsObserver {
+	return &StatsObserver{open: map[int]*statBuild{}}
+}
+
+var _ Observer = (*StatsObserver)(nil)
+
+func (s *StatsObserver) OnSubmit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.open[ev.Task] = &statBuild{
+		submitted: ev.Time,
+		stat:      TaskStat{ID: ev.Task, Name: ev.Name},
 	}
 }
 
-// EnableStats switches on real-execution profiling for subsequently
-// submitted tasks.
-func (rt *Runtime) EnableStats() { rt.rec.mu.Lock(); rt.rec.on = true; rt.rec.mu.Unlock() }
+func (s *StatsObserver) OnDepsReady(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.open[ev.Task]; b != nil {
+		b.stat.WaitDeps = ev.Time.Sub(b.submitted)
+		b.runnable = ev.Time
+	}
+}
 
-// Stats returns a snapshot of the recorded task executions.
-func (rt *Runtime) Stats() []TaskStat {
-	rt.rec.mu.Lock()
-	defer rt.rec.mu.Unlock()
-	out := make([]TaskStat, len(rt.rec.stats))
-	copy(out, rt.rec.stats)
+func (s *StatsObserver) OnStart(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.open[ev.Task]; b != nil {
+		q := ev.Time.Sub(b.runnable)
+		b.started = ev.Time
+		b.stat.Queued += q
+		b.stat.Attempts++
+		b.stat.PerAttempt = append(b.stat.PerAttempt, AttemptStat{Queued: q})
+	}
+}
+
+func (s *StatsObserver) OnEnd(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.open[ev.Task]; b != nil {
+		b.closeAttempt(ev.Time, "ok")
+		s.finalize(ev.Task, b)
+	}
+}
+
+func (s *StatsObserver) OnRetry(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.open[ev.Task]; b != nil {
+		b.runnable = ev.Time
+	}
+}
+
+func (s *StatsObserver) OnFailure(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.open[ev.Task]
+	if b == nil {
+		return
+	}
+	if ev.Attempt < 0 { // dependency failure: the body never ran
+		b.stat.WaitDeps = ev.Time.Sub(b.submitted)
+		b.stat.Failed = true
+		s.finalize(ev.Task, b)
+		return
+	}
+	b.closeAttempt(ev.Time, ev.Mode)
+	if ev.Final {
+		b.stat.Failed = true
+		s.finalize(ev.Task, b)
+	}
+}
+
+func (s *StatsObserver) OnDegrade(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.open[ev.Task]; b != nil {
+		b.stat.Degraded = true
+		s.finalize(ev.Task, b)
+	}
+}
+
+// closeAttempt charges the current attempt's body time and outcome.
+func (b *statBuild) closeAttempt(end time.Time, outcome string) {
+	d := end.Sub(b.started)
+	b.stat.Duration += d
+	if n := len(b.stat.PerAttempt); n > 0 {
+		b.stat.PerAttempt[n-1].Run = d
+		b.stat.PerAttempt[n-1].Outcome = outcome
+	}
+}
+
+// finalize moves a finished build into the stats snapshot. Caller holds s.mu.
+func (s *StatsObserver) finalize(task int, b *statBuild) {
+	s.stats = append(s.stats, b.stat)
+	delete(s.open, task)
+}
+
+// Stats returns a snapshot of the completed tasks' stats, in completion
+// order.
+func (s *StatsObserver) Stats() []TaskStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TaskStat, len(s.stats))
+	copy(out, s.stats)
 	return out
 }
 
-// StatsByName aggregates total real execution time per task name.
-func (rt *Runtime) StatsByName() map[string]time.Duration {
+// ByName aggregates total real execution time per task name.
+func (s *StatsObserver) ByName() map[string]time.Duration {
 	out := map[string]time.Duration{}
-	for _, s := range rt.Stats() {
-		out[s.Name] += s.Duration
+	for _, t := range s.Stats() {
+		out[t.Name] += t.Duration
 	}
 	return out
 }
 
-// StatsSummary renders a per-name profile table sorted by total execution
-// time, with the aggregate dependency wait (wait) and worker-slot wait
-// (queued) alongside — the split separates "blocked on the graph" from
-// "blocked on capacity".
-func (rt *Runtime) StatsSummary() string {
+// Summary renders a per-name profile table sorted by total execution time,
+// with the aggregate dependency wait (wait) and worker-slot wait (queued)
+// alongside — the split separates "blocked on the graph" from "blocked on
+// capacity". The retries/failed/degraded columns keep the three failure
+// outcomes apart: a retried task recovered, a failed one poisoned its
+// dependents, a degraded one published its declared fallback.
+func (s *StatsObserver) Summary() string {
 	type row struct {
 		name                string
 		total, wait, queued time.Duration
 		count, retries      int
+		failed, degraded    int
 	}
 	agg := map[string]*row{}
-	for _, s := range rt.Stats() {
-		r, ok := agg[s.Name]
+	for _, t := range s.Stats() {
+		r, ok := agg[t.Name]
 		if !ok {
-			r = &row{name: s.Name}
-			agg[s.Name] = r
+			r = &row{name: t.Name}
+			agg[t.Name] = r
 		}
-		r.total += s.Duration
-		r.wait += s.WaitDeps
-		r.queued += s.Queued
+		r.total += t.Duration
+		r.wait += t.WaitDeps
+		r.queued += t.Queued
 		r.count++
-		if s.Attempts > 1 {
-			r.retries += s.Attempts - 1
+		if t.Attempts > 1 {
+			r.retries += t.Attempts - 1
+		}
+		switch {
+		case t.Degraded:
+			r.degraded++
+		case t.Failed:
+			r.failed++
 		}
 	}
 	rows := make([]*row, 0, len(agg))
@@ -89,14 +214,72 @@ func (rt *Runtime) StatsSummary() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s %8s\n", "task", "total", "count", "mean", "wait", "queued", "retries")
+	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s %8s %7s %9s\n",
+		"task", "total", "count", "mean", "wait", "queued", "retries", "failed", "degraded")
 	for _, r := range rows {
 		mean := time.Duration(0)
 		if r.count > 0 {
 			mean = r.total / time.Duration(r.count)
 		}
-		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s %8d\n", r.name, r.total.Round(time.Microsecond), r.count,
-			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond), r.retries)
+		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s %8d %7d %9d\n", r.name, r.total.Round(time.Microsecond), r.count,
+			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond),
+			r.retries, r.failed, r.degraded)
 	}
 	return b.String()
+}
+
+// EnableStats switches on real-execution profiling for subsequently
+// submitted tasks by attaching a default StatsObserver. Idempotent.
+//
+// Deprecated: attach a StatsObserver through Config.Observers instead —
+// rt := New(Config{Observers: []Observer{NewStatsObserver()}}) — and read
+// it directly. EnableStats and the Stats accessors below remain as thin
+// wrappers over that default observer.
+func (rt *Runtime) EnableStats() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.statsObs.Load() != nil {
+		return
+	}
+	s := NewStatsObserver()
+	var next []Observer
+	if cur := rt.obs.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, s)
+	rt.obs.Store(&next)
+	rt.statsObs.Store(s)
+}
+
+// defaultStats returns the observer EnableStats attached, or nil.
+func (rt *Runtime) defaultStats() *StatsObserver { return rt.statsObs.Load() }
+
+// Stats returns a snapshot of the recorded task executions.
+//
+// Deprecated: read Stats() from your own StatsObserver (Config.Observers).
+func (rt *Runtime) Stats() []TaskStat {
+	if s := rt.defaultStats(); s != nil {
+		return s.Stats()
+	}
+	return nil
+}
+
+// StatsByName aggregates total real execution time per task name.
+//
+// Deprecated: use StatsObserver.ByName.
+func (rt *Runtime) StatsByName() map[string]time.Duration {
+	if s := rt.defaultStats(); s != nil {
+		return s.ByName()
+	}
+	return map[string]time.Duration{}
+}
+
+// StatsSummary renders the per-name profile table.
+//
+// Deprecated: use StatsObserver.Summary.
+func (rt *Runtime) StatsSummary() string {
+	if s := rt.defaultStats(); s != nil {
+		return s.Summary()
+	}
+	return NewStatsObserver().Summary()
 }

@@ -73,6 +73,11 @@ type PipelineConfig struct {
 	OnTaskFailure compss.FailurePolicy
 	// Faults injects deterministic failures (tests, cmd/scaling -faults).
 	Faults *compss.FaultPlan
+	// Observers are attached to every runtime the pipeline constructs
+	// (compss.Config.Observers) — e.g. a trace.Collector behind the cmd
+	// tools' -trace flag. Pipelines that build several runtimes (PCA
+	// reduction + per-model training) attach the same observers to each.
+	Observers []compss.Observer
 }
 
 // runtimeConfig assembles the compss configuration for this pipeline,
@@ -84,6 +89,7 @@ func (c PipelineConfig) runtimeConfig() compss.Config {
 		DefaultRetries: c.Retries,
 		DefaultBackoff: c.RetryBackoff,
 		Faults:         c.Faults,
+		Observers:      c.Observers,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Dep is a dependency on the output of another task.
@@ -80,6 +81,12 @@ type FailureEvent struct {
 	// CostFraction is the fraction of the task's virtual cost consumed
 	// before the failure instant, in [0, 1].
 	CostFraction float64
+	// At is the real (wall-clock) instant the runtime observed the failure,
+	// carrying Go's monotonic reading. Purely informational — the replay
+	// works in virtual time — it lets trace exporters cross-reference a
+	// replayed failure with the same failure in the real-execution trace.
+	// Zero for hand-built graphs.
+	At time.Time
 }
 
 // Graph is an append-only record of submitted tasks. It is safe for

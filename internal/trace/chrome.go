@@ -1,0 +1,117 @@
+// Package trace turns the runtime's Observer event stream (internal/compss)
+// into Chrome trace-event JSON, the format chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) open directly — the same built-in-profiler idea
+// Taskflow ships for its task graphs.
+//
+// Two producers emit the format:
+//
+//   - Collector + Chrome (this package) render a *real* execution: per-lane
+//     B/E duration slices for every attempt, instant markers for retries,
+//     failures and degradations, and counter tracks for worker-pool
+//     occupancy and the ready queue;
+//   - Schedule.ChromeTrace (internal/cluster) renders a *replayed* virtual
+//     schedule into the same format, so a run and its replay open
+//     side-by-side in Perfetto.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format. Only the fields
+// this package emits are modelled; see the Trace Event Format spec for the
+// full catalogue of phases.
+type TraceEvent struct {
+	// Name labels the slice/instant/counter.
+	Name string `json:"name,omitempty"`
+	// Cat is the event category (filterable in the viewer).
+	Cat string `json:"cat,omitempty"`
+	// Ph is the phase: "B"/"E" duration begin/end, "i" instant, "C"
+	// counter, "M" metadata.
+	Ph string `json:"ph"`
+	// Ts is the event timestamp in microseconds from the trace origin.
+	Ts float64 `json:"ts"`
+	// Pid/Tid place the event on a process/thread row.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// Scope is the instant-event scope ("t" = thread). Instants only.
+	Scope string `json:"s,omitempty"`
+	// Args carries free-form metadata shown when the event is selected.
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is an ordered set of trace events plus the envelope fields the
+// viewers expect.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// Add appends events.
+func (t *Trace) Add(evs ...TraceEvent) { t.Events = append(t.Events, evs...) }
+
+// envelope is the JSON object format of a Chrome trace ("JSON Object
+// Format" in the spec): viewers accept a bare array too, but the object
+// form carries the display unit and tolerates trailing metadata.
+type envelope struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON object format.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(envelope{TraceEvents: t.Events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path (the cmd tools' -trace flag target).
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// processName/threadName emit the metadata events that label rows in the
+// viewer.
+func processName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+}
+
+func threadName(pid, tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+}
+
+// PackLanes assigns each half-open interval [start, end) to the
+// lowest-indexed lane in which it does not overlap its predecessor
+// (greedy first-fit), returning the lane per interval and the lane count.
+// Intervals must be sorted by start; a lane whose last interval ends
+// exactly at the next start is reusable. Both exporters use it to turn
+// unpinned attempt intervals into per-worker (or per-node-lane) rows.
+func PackLanes(starts, ends []float64) (lane []int, n int) {
+	lane = make([]int, len(starts))
+	var laneEnd []float64
+	for i := range starts {
+		placed := false
+		for l := range laneEnd {
+			if laneEnd[l] <= starts[i] {
+				laneEnd[l] = ends[i]
+				lane[i] = l
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			lane[i] = len(laneEnd)
+			laneEnd = append(laneEnd, ends[i])
+		}
+	}
+	return lane, len(laneEnd)
+}

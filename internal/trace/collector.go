@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"taskml/internal/compss"
+)
+
+// Collector is the lock-cheap in-memory Observer sink: every hook appends
+// the event to a mutex-guarded buffer and returns. All rendering cost is
+// deferred to Chrome(), which runs after the workflow finished.
+type Collector struct {
+	mu     sync.Mutex
+	events []compss.Event
+}
+
+// NewCollector returns an empty collector; attach it via
+// compss.Config.Observers.
+func NewCollector() *Collector { return &Collector{} }
+
+var _ compss.Observer = (*Collector)(nil)
+
+func (c *Collector) add(ev compss.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+func (c *Collector) OnSubmit(ev compss.Event)    { c.add(ev) }
+func (c *Collector) OnDepsReady(ev compss.Event) { c.add(ev) }
+func (c *Collector) OnStart(ev compss.Event)     { c.add(ev) }
+func (c *Collector) OnEnd(ev compss.Event)       { c.add(ev) }
+func (c *Collector) OnRetry(ev compss.Event)     { c.add(ev) }
+func (c *Collector) OnFailure(ev compss.Event)   { c.add(ev) }
+func (c *Collector) OnDegrade(ev compss.Event)   { c.add(ev) }
+
+// Events returns a snapshot of the collected events in arrival order.
+func (c *Collector) Events() []compss.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]compss.Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Chrome renders the collected events; shorthand for Chrome(c.Events()).
+func (c *Collector) Chrome() *Trace { return Chrome(c.Events()) }
+
+// attemptKey identifies one executed attempt of one task.
+type attemptKey struct {
+	task, attempt int
+}
+
+// attemptSlice is a closed Start→End/Failure interval of one attempt.
+type attemptSlice struct {
+	attemptKey
+	name       string
+	start, end float64 // µs from trace origin
+	outcome    string  // "ok", or the failure mode
+	errText    string
+}
+
+// sortable wraps a TraceEvent with the tiebreak keys that make the emitted
+// order fully deterministic even when timestamps collide (the golden test
+// strips ts, so shape must not depend on clock resolution).
+type sortable struct {
+	ev            TraceEvent
+	ord           int // phase priority: E < i < C < B at equal ts
+	task, attempt int
+}
+
+// Chrome converts a runtime event stream into a Chrome trace. The runtime
+// does not pin tasks to worker identities (a body that blocks on a nested
+// Get releases its slot and re-acquires a possibly different one), so the
+// exporter reconstructs worker rows by greedily packing the attempt
+// intervals into lanes: lane count equals the peak concurrency actually
+// observed, which is bounded by Config.Workers.
+//
+// Emitted tracks, all under one process ("taskml runtime"):
+//
+//   - "worker N" rows: one B/E slice per executed attempt, failed attempts
+//     labelled "name!k" (matching the virtual-cluster Gantt convention),
+//     with instant markers for failures, retries and degradations on the
+//     lane of the attempt they refer to;
+//   - a "failed deps" row holding instant markers for tasks whose body
+//     never ran because a dependency failed;
+//   - counter tracks "ready" (tasks runnable but not yet started) and
+//     "workers" (attempts executing), sampled at every transition.
+func Chrome(events []compss.Event) *Trace {
+	t := &Trace{}
+	if len(events) == 0 {
+		return t
+	}
+	origin := events[0].Time
+	for _, ev := range events[1:] {
+		if ev.Time.Before(origin) {
+			origin = ev.Time
+		}
+	}
+	// Sub-microsecond resolution matters: trace ts is in µs, but injected
+	// (body-less) attempts can close within the clock's resolution. Every
+	// rendered event takes its ts from tsOf, which enforces per-task
+	// monotonicity — with a strict 1 ns step for the events that close an
+	// attempt slice — so a slice's E, its failure/degrade instants and the
+	// derived counter samples can never sort before its B no matter how
+	// coarse the clock: the exported shape is deterministic, which the
+	// golden test relies on.
+	us := func(ev compss.Event) float64 {
+		return float64(ev.Time.Sub(origin).Nanoseconds()) / 1e3
+	}
+	tsOf := make([]float64, len(events))
+	lastTs := map[int]float64{}
+	for i, ev := range events {
+		ts := us(ev)
+		if prev, ok := lastTs[ev.Task]; ok {
+			floor := prev
+			if ev.Kind == compss.EventEnd || (ev.Kind == compss.EventFailure && ev.Attempt >= 0) {
+				floor = prev + 1e-3 // strictly after the attempt's Start
+			}
+			if ts < floor {
+				ts = floor
+			}
+		}
+		lastTs[ev.Task] = ts
+		tsOf[i] = ts
+	}
+
+	// Pair Start with the End/Failure that closes it, per (task, attempt).
+	open := map[attemptKey]attemptSlice{}
+	var slices []attemptSlice
+	for i, ev := range events {
+		k := attemptKey{ev.Task, ev.Attempt}
+		switch ev.Kind {
+		case compss.EventStart:
+			open[k] = attemptSlice{attemptKey: k, name: ev.Name, start: tsOf[i]}
+		case compss.EventEnd, compss.EventFailure:
+			s, ok := open[k]
+			if !ok {
+				continue // dep failure (attempt -1) or unmatched close
+			}
+			delete(open, k)
+			s.end = tsOf[i]
+			if ev.Kind == compss.EventEnd {
+				s.outcome = "ok"
+			} else {
+				s.outcome = ev.Mode
+				if ev.Err != nil {
+					s.errText = ev.Err.Error()
+				}
+			}
+			slices = append(slices, s)
+		}
+	}
+	// Attempts still open (runtime torn down mid-flight) are dropped: a
+	// dangling B without its E renders as an infinite slice.
+
+	sort.Slice(slices, func(i, j int) bool {
+		a, b := slices[i], slices[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.task != b.task {
+			return a.task < b.task
+		}
+		return a.attempt < b.attempt
+	})
+	starts := make([]float64, len(slices))
+	ends := make([]float64, len(slices))
+	for i, s := range slices {
+		starts[i], ends[i] = s.start, s.end
+	}
+	lanes, nLanes := PackLanes(starts, ends)
+	laneOf := map[attemptKey]int{}
+	for i, s := range slices {
+		laneOf[s.attemptKey] = lanes[i]
+	}
+
+	const pid = 0
+	t.Add(processName(pid, "taskml runtime"))
+	for l := 0; l < nLanes; l++ {
+		t.Add(threadName(pid, l, fmt.Sprintf("worker %d", l)))
+	}
+	depLane := nLanes // row for tasks that never ran
+	hasDepLane := false
+
+	var out []sortable
+	for i, s := range slices {
+		name := s.name
+		if s.outcome != "ok" {
+			name = fmt.Sprintf("%s!%d", s.name, s.attempt)
+		}
+		args := map[string]any{"task": s.task, "attempt": s.attempt, "outcome": s.outcome}
+		out = append(out,
+			sortable{ord: 3, task: s.task, attempt: s.attempt, ev: TraceEvent{
+				Name: name, Cat: "task", Ph: "B", Ts: s.start, Pid: pid, Tid: lanes[i], Args: args,
+			}},
+			sortable{ord: 0, task: s.task, attempt: s.attempt, ev: TraceEvent{
+				Name: name, Cat: "task", Ph: "E", Ts: s.end, Pid: pid, Tid: lanes[i],
+			}},
+		)
+	}
+
+	// Instant markers and counter samples from the raw stream, stamped with
+	// the same monotonic-clamped timestamps as the slices they refer to.
+	ready, busy := 0, 0
+	counter := func(ts float64, task int, name string, v int) sortable {
+		return sortable{ord: 2, task: task, ev: TraceEvent{
+			Name: name, Cat: "runtime", Ph: "C", Ts: ts, Pid: pid,
+			Args: map[string]any{"n": v},
+		}}
+	}
+	instant := func(ts float64, ev compss.Event, name string, tid int) sortable {
+		args := map[string]any{"task": ev.Task, "name": ev.Name, "attempt": ev.Attempt}
+		if ev.Mode != "" {
+			args["mode"] = ev.Mode
+		}
+		if ev.Err != nil {
+			args["err"] = ev.Err.Error()
+		}
+		return sortable{ord: 1, task: ev.Task, attempt: ev.Attempt, ev: TraceEvent{
+			Name: name, Cat: "fault", Ph: "i", Ts: ts, Pid: pid, Tid: tid, Scope: "t", Args: args,
+		}}
+	}
+	for i, ev := range events {
+		ts := tsOf[i]
+		switch ev.Kind {
+		case compss.EventDepsReady:
+			ready++
+			out = append(out, counter(ts, ev.Task, "ready", ready))
+		case compss.EventRetry:
+			ready++
+			out = append(out, counter(ts, ev.Task, "ready", ready))
+			out = append(out, instant(ts, ev, "retry", laneOf[attemptKey{ev.Task, ev.Attempt - 1}]))
+		case compss.EventStart:
+			ready--
+			busy++
+			out = append(out, counter(ts, ev.Task, "ready", ready), counter(ts, ev.Task, "workers", busy))
+		case compss.EventEnd:
+			busy--
+			out = append(out, counter(ts, ev.Task, "workers", busy))
+		case compss.EventFailure:
+			if ev.Attempt < 0 {
+				hasDepLane = true
+				out = append(out, instant(ts, ev, "failure", depLane))
+				continue
+			}
+			busy--
+			out = append(out, counter(ts, ev.Task, "workers", busy))
+			out = append(out, instant(ts, ev, "failure", laneOf[attemptKey{ev.Task, ev.Attempt}]))
+		case compss.EventDegrade:
+			out = append(out, instant(ts, ev, "degrade", laneOf[attemptKey{ev.Task, ev.Attempt}]))
+		}
+	}
+	if hasDepLane {
+		t.Add(threadName(pid, depLane, "failed deps"))
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ev.Ts != b.ev.Ts {
+			return a.ev.Ts < b.ev.Ts
+		}
+		if a.ev.Tid != b.ev.Tid {
+			return a.ev.Tid < b.ev.Tid
+		}
+		if a.ord != b.ord {
+			return a.ord < b.ord
+		}
+		if a.task != b.task {
+			return a.task < b.task
+		}
+		if a.attempt != b.attempt {
+			return a.attempt < b.attempt
+		}
+		return a.ev.Name < b.ev.Name
+	})
+	for _, s := range out {
+		t.Add(s.ev)
+	}
+	return t
+}

@@ -7,6 +7,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -17,9 +25,11 @@ echo "== go test -race ./..."
 go test -race ./...
 
 # The fault-tolerance layer retries attempts concurrently with nested
-# submission and deadline timers; run its two packages twice under the race
-# detector to shake out ordering-dependent bugs a single pass can miss.
-echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/..."
-go test -race -count=2 ./internal/compss/... ./internal/cluster/...
+# submission and deadline timers, and the trace golden test asserts the
+# exported shape is schedule-independent; run these packages twice under
+# the race detector to shake out ordering-dependent bugs a single pass can
+# miss.
+echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/..."
+go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/...
 
 echo "ok"
