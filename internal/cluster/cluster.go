@@ -221,11 +221,11 @@ type Schedule struct {
 // order PyCOMPSs releases tasks in.
 type taskHeap []int
 
-func (h taskHeap) Len() int            { return len(h) }
-func (h taskHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
-func (h *taskHeap) Pop() interface{} {
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *taskHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -470,7 +470,7 @@ func ScheduleGraph(g *graph.Graph, c Cluster) (*Schedule, error) {
 			end := bestStart + dur
 			claim(coreAvail[bestNode], t.Cores, end)
 			claim(gpuAvail[bestNode], t.GPUs, end)
-			busy := dur * float64(maxInt(t.Cores, 1))
+			busy := dur * float64(max(t.Cores, 1))
 			sched.BusyCoreSeconds += busy
 
 			if failed {
@@ -563,13 +563,6 @@ func fits(t graph.Task, c Cluster) bool {
 		}
 	}
 	return false
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Sweep replays the same graph on each cluster configuration and returns

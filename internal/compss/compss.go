@@ -230,6 +230,9 @@ func (rt *Runtime) WaitAll() error { return rt.main.WaitAll() }
 func (rt *Runtime) Barrier() error { return rt.main.barrierAll() }
 
 // taskState is the shared completion record behind one or more Futures.
+// Single-output tasks — the overwhelmingly common case — embed their value
+// slot, Future and first-attempt context here, so one allocation covers the
+// whole submission record (see TaskCtx.submit).
 type taskState struct {
 	id       int
 	name     string
@@ -240,6 +243,11 @@ type taskState struct {
 	vals     []any
 	err      error
 	degraded bool
+
+	val1  [1]any     // backing for vals when nOut == 1
+	fut1  Future     // the single Future when nOut == 1
+	futp1 [1]*Future // backing for the returned []*Future when nOut == 1
+	ctx0  TaskCtx    // attempt 0's body context (retries allocate fresh ones)
 }
 
 // Future is a handle to the not-yet-available output of a task. Passing a
@@ -295,11 +303,7 @@ type TaskCtx struct {
 // submitted through its own TaskCtx completed (a nested task is not done
 // until its children are).
 func (tc *TaskCtx) Submit(o Opts, fn TaskFunc, args ...any) *Future {
-	fs := tc.submit(o, 1, func(child *TaskCtx, resolved []any) ([]any, error) {
-		v, err := fn(child, resolved)
-		return []any{v}, err
-	}, args)
-	return fs[0]
+	return tc.submit(o, 1, fn, nil, args)[0]
 }
 
 // SubmitN schedules a task producing nOut outputs and returns one Future
@@ -310,10 +314,26 @@ func (tc *TaskCtx) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*F
 	if nOut <= 0 {
 		panic("compss: SubmitN needs nOut >= 1")
 	}
-	return tc.submit(o, nOut, fn, args)
+	return tc.submit(o, nOut, nil, fn, args)
 }
 
-func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Future {
+// appendArgDep adds an argument dependency on task id, collapsing duplicate
+// future arguments into one edge. ViaMaster follows floor membership: a
+// value the context already synchronised travels through the master again.
+func appendArgDep(deps []graph.Dep, id int, floor map[int]bool) []graph.Dep {
+	for i := range deps {
+		if deps[i].Task == id {
+			return deps
+		}
+	}
+	return append(deps, graph.Dep{Task: id, ViaMaster: floor[id]})
+}
+
+// submit is the single submission code path. Exactly one of fn1 / fnN is
+// non-nil: Submit passes its TaskFunc as fn1 (no wrapping closure, and the
+// single output value travels by copy, not through a fresh []any), SubmitN
+// its MultiTaskFunc as fnN.
+func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, args []any) []*Future {
 	if o.Name == "" {
 		o.Name = "task"
 	}
@@ -327,40 +347,48 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 	// time, never for real execution. An argument whose producer was also
 	// synchronised carries its value through the master (ViaMaster); floor
 	// entries that are not arguments are pure ordering (OrderOnly).
-	type depKind int
-	const (
-		depArg depKind = iota
-		depFloor
-	)
-	deps := map[int]depKind{}
+	//
+	// The list is assembled straight into the graph.Dep slice — argument
+	// deps first (deduplicated by a linear scan; fan-ins are small), then
+	// the floor remainder — so the hot path builds no intermediate maps.
+	nArg := 0
 	for _, a := range args {
 		switch v := a.(type) {
 		case *Future:
-			deps[v.st.id] = depArg
+			nArg++
 		case []*Future:
-			for _, f := range v {
-				deps[f.st.id] = depArg
-			}
+			nArg += len(v)
 		}
 	}
 	tc.mu.Lock()
-	synced := make(map[int]bool, len(tc.floor))
+	var gdeps []graph.Dep
+	if n := nArg + len(tc.floor); n > 0 {
+		gdeps = make([]graph.Dep, 0, n)
+	}
+	for _, a := range args {
+		switch v := a.(type) {
+		case *Future:
+			gdeps = appendArgDep(gdeps, v.st.id, tc.floor)
+		case []*Future:
+			for _, f := range v {
+				gdeps = appendArgDep(gdeps, f.st.id, tc.floor)
+			}
+		}
+	}
+	nArgDeps := len(gdeps)
 	for id := range tc.floor {
-		synced[id] = true
-		if _, isArg := deps[id]; !isArg {
-			deps[id] = depFloor
+		isArg := false
+		for i := 0; i < nArgDeps; i++ {
+			if gdeps[i].Task == id {
+				isArg = true
+				break
+			}
+		}
+		if !isArg {
+			gdeps = append(gdeps, graph.Dep{Task: id, ViaMaster: true, OrderOnly: true})
 		}
 	}
 	tc.mu.Unlock()
-
-	gdeps := make([]graph.Dep, 0, len(deps))
-	for id, kind := range deps {
-		gdeps = append(gdeps, graph.Dep{
-			Task:      id,
-			ViaMaster: synced[id],
-			OrderOnly: kind == depFloor,
-		})
-	}
 
 	// Resolve the effective failure policy now, so the graph records what
 	// the replay should emulate.
@@ -394,11 +422,20 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 
 	st := &taskState{
 		id: id, name: o.Name, occ: occ, opts: o, retries: retries,
-		done: make(chan struct{}), vals: make([]any, nOut),
+		done: make(chan struct{}),
 	}
-	futs := make([]*Future, nOut)
-	for i := range futs {
-		futs[i] = &Future{st: st, idx: i}
+	var futs []*Future
+	if nOut == 1 {
+		st.vals = st.val1[:]
+		st.fut1 = Future{st: st}
+		st.futp1[0] = &st.fut1
+		futs = st.futp1[:]
+	} else {
+		st.vals = make([]any, nOut)
+		futs = make([]*Future, nOut)
+		for i := range futs {
+			futs[i] = &Future{st: st, idx: i}
+		}
 	}
 
 	tc.rt.mu.Lock()
@@ -415,7 +452,7 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 	// Emit before the run goroutine spawns so Submit is causally first in
 	// the task's event sequence.
 	tc.rt.emit(EventSubmit, st, -1, nil, "", false)
-	go tc.rt.run(st, id, nOut, fn, args)
+	go tc.rt.run(st, id, nOut, fn1, fnN, args)
 	return futs
 }
 
@@ -426,7 +463,7 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn MultiTaskFunc, args []any) []*Fut
 // (Degrade), or the failure. Each transition emits the matching Observer
 // event (see observer.go for the guaranteed per-task sequences); the
 // StatsObserver derives the legacy TaskStats entirely from this stream.
-func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any) {
+func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, args []any) {
 	defer close(st.done)
 
 	// Resolve arguments outside the worker slot so blocked tasks do not
@@ -463,8 +500,17 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 	for attempt := 0; ; attempt++ {
 		rt.sem <- struct{}{}
 		rt.emit(EventStart, st, attempt, nil, "", false)
-		child := &TaskCtx{rt: rt, parent: id, insideTask: true, holdsSlot: true}
-		res := rt.execAttempt(st, child, attempt, nOut, fn, resolved)
+		// Attempt 0 uses the context embedded in the taskState; retries get
+		// a fresh one, because an abandoned (timed-out) attempt keeps using
+		// its context concurrently with the retry.
+		var child *TaskCtx
+		if attempt == 0 {
+			child = &st.ctx0
+			child.rt, child.parent, child.insideTask, child.holdsSlot = rt, id, true, true
+		} else {
+			child = &TaskCtx{rt: rt, parent: id, insideTask: true, holdsSlot: true}
+		}
+		res := rt.execAttempt(st, child, attempt, nOut, fn1, fnN, resolved)
 		if !res.slotLost {
 			<-rt.sem
 		}
@@ -492,7 +538,11 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn MultiTaskFunc, args []any
 			}
 		}
 		if res.err == nil {
-			st.vals = res.vals
+			if res.vals != nil {
+				st.vals = res.vals
+			} else {
+				st.vals[0] = res.val // single-output fast path (nOut == 1)
+			}
 			rt.emitAt(EventEnd, st, attempt, bodyDone, nil, "", false)
 			break
 		}
@@ -531,6 +581,7 @@ func (rt *Runtime) failDeps(st *taskState, err error) {
 // failure record when err is non-nil.
 type attemptResult struct {
 	vals []any
+	val  any // the output when vals is nil: single-output bodies pass it by copy
 	err  error
 	mode string  // "error", "panic" or "timeout"
 	frac float64 // virtual cost fraction consumed before the failure instant
@@ -543,8 +594,7 @@ type attemptResult struct {
 // execAttempt runs one attempt of the task body inside the caller's worker
 // slot: fault injection swaps the body for a doomed one, a deadline races it
 // against a timer, and panics become errors.
-func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int, fn MultiTaskFunc, resolved []any) attemptResult {
-	body := fn
+func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, resolved []any) attemptResult {
 	frac := 1.0
 	var cancel chan struct{}
 	if f := rt.cfg.Faults.match(st.id, st.name, st.occ, attempt); f != nil {
@@ -556,7 +606,7 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 		if mode == FaultHang {
 			cancel = make(chan struct{})
 		}
-		body = injectedBody(st, attempt, mode, cancel)
+		fn1, fnN = nil, injectedBody(st, attempt, mode, cancel)
 	}
 
 	runBody := func() (res attemptResult) {
@@ -569,7 +619,14 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 				}
 			}
 		}()
-		vals, err := body(child, resolved)
+		if fn1 != nil {
+			v, err := fn1(child, resolved)
+			if err != nil {
+				return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
+			}
+			return attemptResult{val: v}
+		}
+		vals, err := fnN(child, resolved)
 		switch {
 		case err != nil:
 			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}

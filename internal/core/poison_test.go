@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"taskml/internal/mat"
+)
+
+// TestRunCVBitIdenticalUnderPoolPoisoning is the enforcement test for the
+// scratch ownership contract (DESIGN.md, "Memory model"): every value the
+// AF pipeline publishes through a compss.Future must be freshly allocated,
+// never pooled scratch. It runs the pipeline end to end — feature
+// extraction, PCA, folds, models — three ways:
+//
+//   - pooling disabled (Get always allocates): the reference, equivalent to
+//     the pre-arena implementation;
+//   - pooling on: the production configuration;
+//   - pooling on with debug poisoning: every buffer returned to the pool is
+//     filled with NaN, so a task that leaked scratch into a published value
+//     turns the final numbers into NaN instead of stale-but-plausible data.
+//
+// All three must produce bit-identical fold accuracies and confusion
+// matrices. Run under -race (scripts/check.sh does), the poisoned pass also
+// shakes out cross-task sharing of recycled buffers.
+func TestRunCVBitIdenticalUnderPoolPoisoning(t *testing.T) {
+	models := []Model{ModelKNN, ModelCNN}
+	type outcome struct {
+		counts [2][2]int
+		folds  []float64
+	}
+	run := func() map[Model]outcome {
+		ds, err := BuildDataset(smallData(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[Model]outcome{}
+		for _, m := range models {
+			rep, err := RunCV(m, ds, fastCfg(21))
+			if err != nil {
+				t.Fatalf("%s: %v", m, err)
+			}
+			var o outcome
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					o.counts[i][j] = rep.Confusion.Counts[i][j]
+				}
+			}
+			o.folds = rep.FoldAccuracies
+			for _, a := range o.folds {
+				if math.IsNaN(a) {
+					t.Fatalf("%s: NaN fold accuracy — poisoned scratch leaked into a published value", m)
+				}
+			}
+			out[m] = o
+		}
+		return out
+	}
+
+	mat.Scratch.SetDisabled(true)
+	ref := run()
+	mat.Scratch.SetDisabled(false)
+
+	pooled := run()
+
+	mat.Scratch.SetDebug(true)
+	defer mat.Scratch.SetDebug(false)
+	poisoned := run()
+
+	for _, m := range models {
+		for name, got := range map[string]outcome{"pooled": pooled[m], "poisoned": poisoned[m]} {
+			if got.counts != ref[m].counts {
+				t.Errorf("%s/%s: confusion %v differs from unpooled reference %v", m, name, got.counts, ref[m].counts)
+			}
+			if len(got.folds) != len(ref[m].folds) {
+				t.Fatalf("%s/%s: %d folds vs %d", m, name, len(got.folds), len(ref[m].folds))
+			}
+			for i := range got.folds {
+				if got.folds[i] != ref[m].folds[i] {
+					t.Errorf("%s/%s: fold %d accuracy %v differs from reference %v", m, name, i, got.folds[i], ref[m].folds[i])
+				}
+			}
+		}
+	}
+}

@@ -226,6 +226,7 @@ func TrainFederated(rt *compss.Runtime, x *mat.Dense, y []int, arch Arch, cfg Fe
 				sh := args[0].(*shard)
 				ws := args[1].([]*mat.Dense)
 				net := arch.Build(0)
+				defer net.ReleaseScratch()
 				if err := net.SetWeights(ws); err != nil {
 					return nil, err
 				}
@@ -274,6 +275,7 @@ func TrainFederated(rt *compss.Runtime, x *mat.Dense, y []int, arch Arch, cfg Fe
 			OutBytes: 64,
 		}, func(_ *compss.TaskCtx, args []any) (any, error) {
 			net := arch.Build(0)
+			defer net.ReleaseScratch()
 			if err := net.SetWeights(args[0].([]*mat.Dense)); err != nil {
 				return nil, err
 			}

@@ -15,6 +15,8 @@ type MaxPool1D struct {
 
 	argmax []int // flattened (batch × out) winner indices into the input
 	rows   int
+
+	out, dx *mat.Dense // pooled scratch reused across batches
 }
 
 // NewMaxPool1D builds the layer; pool must divide into at least one window.
@@ -37,7 +39,7 @@ func (m *MaxPool1D) Forward(x *mat.Dense) *mat.Dense {
 		panic(fmt.Sprintf("eddl: pool input %d cols, want %d", x.Cols, m.Channels*m.InLen))
 	}
 	lout := m.OutLen()
-	out := mat.New(x.Rows, m.Channels*lout)
+	out := mat.Scratch.GrowDense(&m.out, x.Rows, m.Channels*lout)
 	if cap(m.argmax) < x.Rows*out.Cols {
 		m.argmax = make([]int, x.Rows*out.Cols)
 	}
@@ -65,7 +67,7 @@ func (m *MaxPool1D) Forward(x *mat.Dense) *mat.Dense {
 
 // Backward implements Layer.
 func (m *MaxPool1D) Backward(grad *mat.Dense) *mat.Dense {
-	dx := mat.New(m.rows, m.Channels*m.InLen)
+	dx := mat.Scratch.GrowDense(&m.dx, m.rows, m.Channels*m.InLen)
 	for bi := 0; bi < grad.Rows; bi++ {
 		gr := grad.Row(bi)
 		dr := dx.Row(bi)
@@ -78,6 +80,11 @@ func (m *MaxPool1D) Backward(grad *mat.Dense) *mat.Dense {
 
 // Params implements Layer.
 func (m *MaxPool1D) Params() []*Param { return nil }
+
+func (m *MaxPool1D) releaseScratch() {
+	mat.Scratch.ReleaseDense(&m.out)
+	mat.Scratch.ReleaseDense(&m.dx)
+}
 
 // FwdFlops implements Layer.
 func (m *MaxPool1D) FwdFlops() float64 { return float64(m.Channels * m.InLen) }
@@ -92,6 +99,7 @@ type Dropout struct {
 
 	training bool
 	mask     []bool
+	out      *mat.Dense // pooled scratch reused across batches
 }
 
 // NewDropout builds the layer for a given width.
@@ -116,43 +124,44 @@ func (d *Dropout) Forward(x *mat.Dense) *mat.Dense {
 	if !d.training || d.Rate == 0 {
 		return x
 	}
-	out := x.Clone()
+	out := mat.Scratch.GrowDense(&d.out, x.Rows, x.Cols)
 	if cap(d.mask) < len(out.Data) {
 		d.mask = make([]bool, len(out.Data))
 	}
 	d.mask = d.mask[:len(out.Data)]
 	scale := 1 / (1 - d.Rate)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.Rate {
-			out.Data[i] = 0
 			d.mask[i] = false
 		} else {
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 			d.mask[i] = true
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Like ReLU, the survivors are rescaled in grad
+// itself (see the Layer memory contract).
 func (d *Dropout) Backward(grad *mat.Dense) *mat.Dense {
 	if !d.training || d.Rate == 0 {
 		return grad
 	}
-	out := grad.Clone()
 	scale := 1 / (1 - d.Rate)
-	for i := range out.Data {
+	for i := range grad.Data {
 		if d.mask[i] {
-			out.Data[i] *= scale
+			grad.Data[i] *= scale
 		} else {
-			out.Data[i] = 0
+			grad.Data[i] = 0
 		}
 	}
-	return out
+	return grad
 }
 
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
+
+func (d *Dropout) releaseScratch() { mat.Scratch.ReleaseDense(&d.out) }
 
 // FwdFlops implements Layer.
 func (d *Dropout) FwdFlops() float64 { return float64(d.cols) }
@@ -175,10 +184,7 @@ func NewSGD(lr, momentum float64) *SGD {
 // Step applies one update to every parameter from its accumulated gradient
 // (gradients are not cleared; callers zero them per batch).
 func (o *SGD) Step(n *Network) {
-	var params []*Param
-	for _, l := range n.Layers {
-		params = append(params, l.Params()...)
-	}
+	params := n.paramList()
 	if o.velocity == nil {
 		o.velocity = make([][]float64, len(params))
 		for i, p := range params {
@@ -221,26 +227,8 @@ func (n *Network) TrainEpochSGD(x *mat.Dense, y []int, opt *SGD, batch int, rng 
 		if end > len(order) {
 			end = len(order)
 		}
-		idx := order[at:end]
-		bx := mat.TakeRows(x, idx)
-		by := make([]int, len(idx))
-		for i, r := range idx {
-			by[i] = y[r]
-		}
-		for _, l := range n.Layers {
-			for _, p := range l.Params() {
-				for i := range p.Grad.Data {
-					p.Grad.Data[i] = 0
-				}
-			}
-		}
-		logits := n.Forward(bx)
-		loss, grad := softmaxCE(logits, by)
-		for i := len(n.Layers) - 1; i >= 0; i-- {
-			grad = n.Layers[i].Backward(grad)
-		}
+		total += n.batchStep(x, y, order[at:end])
 		opt.Step(n)
-		total += loss
 		batches++
 	}
 	return total / float64(batches), nil

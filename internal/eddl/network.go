@@ -24,6 +24,14 @@ import (
 // Layer is one differentiable stage. Forward caches whatever Backward
 // needs; Backward receives dLoss/dOut and returns dLoss/dIn, accumulating
 // parameter gradients internally.
+//
+// Memory contract: the matrices Forward and Backward return are
+// layer-owned scratch drawn from mat.Scratch — valid until the layer's
+// next Forward/Backward call or the network's ReleaseScratch, whichever
+// comes first — and stateless layers (ReLU, Dropout) may rewrite the grad
+// they are handed in place and return it. Callers that need a result to
+// outlive the training loop must Clone it; trainable parameters (Params)
+// are never pooled.
 type Layer interface {
 	Forward(x *mat.Dense) *mat.Dense
 	Backward(grad *mat.Dense) *mat.Dense
@@ -34,6 +42,10 @@ type Layer interface {
 	// OutCols is the flattened output width given the configured input.
 	OutCols() int
 }
+
+// scratchHolder is implemented by layers that keep pooled scratch between
+// steps; Network.ReleaseScratch fans out through it.
+type scratchHolder interface{ releaseScratch() }
 
 // Param is a trainable tensor with its gradient accumulator.
 type Param struct {
@@ -53,6 +65,8 @@ type Conv1D struct {
 
 	w, b  *Param
 	lastX *mat.Dense
+
+	out, dx *mat.Dense // pooled scratch reused across batches
 }
 
 // NewConv1D builds the layer with He-initialised weights.
@@ -86,7 +100,7 @@ func (c *Conv1D) Forward(x *mat.Dense) *mat.Dense {
 	}
 	c.lastX = x
 	lout := c.OutLen()
-	out := mat.New(x.Rows, c.OutChannels*lout)
+	out := mat.Scratch.GrowDense(&c.out, x.Rows, c.OutChannels*lout)
 	// Samples are independent (disjoint output rows, read-only x and
 	// weights), so the batch dimension parallelises over internal/par; the
 	// window product is the shared unrolled Dot micro-kernel.
@@ -117,7 +131,7 @@ func (c *Conv1D) Forward(x *mat.Dense) *mat.Dense {
 // Backward implements Layer.
 func (c *Conv1D) Backward(grad *mat.Dense) *mat.Dense {
 	lout := c.OutLen()
-	dx := mat.New(c.lastX.Rows, c.lastX.Cols)
+	dx := mat.Scratch.GrowDense(&c.dx, c.lastX.Rows, c.lastX.Cols)
 	for bi := 0; bi < grad.Rows; bi++ {
 		gr := grad.Row(bi)
 		xr := c.lastX.Row(bi)
@@ -149,6 +163,11 @@ func (c *Conv1D) Backward(grad *mat.Dense) *mat.Dense {
 // Params implements Layer.
 func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
 
+func (c *Conv1D) releaseScratch() {
+	mat.Scratch.ReleaseDense(&c.out)
+	mat.Scratch.ReleaseDense(&c.dx)
+}
+
 // FwdFlops implements Layer.
 func (c *Conv1D) FwdFlops() float64 {
 	return 2 * float64(c.OutChannels) * float64(c.OutLen()) * float64(c.InChannels) * float64(c.Kernel)
@@ -159,6 +178,8 @@ type Dense struct {
 	In, Out int
 	w, b    *Param
 	lastX   *mat.Dense
+
+	out, dx *mat.Dense // pooled scratch reused across batches
 }
 
 // NewDense builds the layer with He-initialised weights.
@@ -180,7 +201,8 @@ func (d *Dense) Forward(x *mat.Dense) *mat.Dense {
 		panic(fmt.Sprintf("eddl: dense input %d cols, want %d", x.Cols, d.In))
 	}
 	d.lastX = x
-	out := mat.Mul(x, d.w.W)
+	out := mat.Scratch.GrowDense(&d.out, x.Rows, d.Out)
+	mat.MulAdd(out, x, d.w.W) // out was zeroed: this is out = x·w
 	for bi := 0; bi < out.Rows; bi++ {
 		row := out.Row(bi)
 		for j := range row {
@@ -199,11 +221,18 @@ func (d *Dense) Backward(grad *mat.Dense) *mat.Dense {
 			d.b.Grad.Set(0, j, d.b.Grad.At(0, j)+g)
 		}
 	}
-	return mat.MulABt(grad, d.w.W)
+	dx := mat.Scratch.GrowDense(&d.dx, grad.Rows, d.In)
+	mat.MulABtAdd(dx, grad, d.w.W) // dx was zeroed: this is dx = grad·wᵀ
+	return dx
 }
 
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+func (d *Dense) releaseScratch() {
+	mat.Scratch.ReleaseDense(&d.out)
+	mat.Scratch.ReleaseDense(&d.dx)
+}
 
 // FwdFlops implements Layer.
 func (d *Dense) FwdFlops() float64 { return 2 * float64(d.In) * float64(d.Out) }
@@ -212,6 +241,7 @@ func (d *Dense) FwdFlops() float64 { return 2 * float64(d.In) * float64(d.Out) }
 type ReLU struct {
 	cols int
 	mask []bool
+	out  *mat.Dense // pooled scratch reused across batches
 }
 
 // NewReLU builds the activation for a given width.
@@ -222,35 +252,38 @@ func (r *ReLU) OutCols() int { return r.cols }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *mat.Dense) *mat.Dense {
-	out := x.Clone()
+	out := mat.Scratch.GrowDense(&r.out, x.Rows, x.Cols)
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
 	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v < 0 {
-			out.Data[i] = 0
 			r.mask[i] = false
 		} else {
+			out.Data[i] = v
 			r.mask[i] = true
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The masked entries are zeroed in grad itself
+// (see the Layer memory contract): the upstream layer's grad scratch is
+// dead after this call, so clamping in place saves the copy.
 func (r *ReLU) Backward(grad *mat.Dense) *mat.Dense {
-	out := grad.Clone()
-	for i := range out.Data {
+	for i := range grad.Data {
 		if !r.mask[i] {
-			out.Data[i] = 0
+			grad.Data[i] = 0
 		}
 	}
-	return out
+	return grad
 }
 
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
+
+func (r *ReLU) releaseScratch() { mat.Scratch.ReleaseDense(&r.out) }
 
 // FwdFlops implements Layer.
 func (r *ReLU) FwdFlops() float64 { return float64(r.cols) }
@@ -260,6 +293,44 @@ func (r *ReLU) FwdFlops() float64 { return float64(r.cols) }
 type Network struct {
 	Layers  []Layer
 	Classes int
+
+	// Training scratch, drawn from mat.Scratch and reused across batches
+	// and epochs; weights and gradients are never pooled. ReleaseScratch
+	// hands everything back to the pool.
+	ceGrad *mat.Dense // softmax cross-entropy gradient
+	bx     *mat.Dense // mini-batch feature rows
+	by     []int      // mini-batch labels
+
+	plist []*Param // cached flattened parameter list (layers are fixed)
+}
+
+// paramList returns the network's parameters flattened across layers,
+// computed once — per-batch Params() calls would allocate a small slice per
+// layer per step. Layers never change after construction.
+func (n *Network) paramList() []*Param {
+	if n.plist == nil {
+		for _, l := range n.Layers {
+			n.plist = append(n.plist, l.Params()...)
+		}
+	}
+	return n.plist
+}
+
+// ReleaseScratch returns every pooled buffer the network and its layers
+// hold — forward activations, backward gradients, the mini-batch staging
+// buffers — to mat.Scratch, so the next worker's training task can reuse
+// them. Weights are untouched. Call it when a network is done training
+// (the distributed trainer does, at the end of every cnn_train task body);
+// using the network again afterwards is safe and simply re-draws scratch.
+func (n *Network) ReleaseScratch() {
+	for _, l := range n.Layers {
+		if s, ok := l.(scratchHolder); ok {
+			s.releaseScratch()
+		}
+	}
+	mat.Scratch.ReleaseDense(&n.ceGrad)
+	mat.Scratch.ReleaseDense(&n.bx)
+	n.by = nil
 }
 
 // NewCNN builds the paper's architecture for a 1-D input of length
@@ -291,9 +362,22 @@ func (n *Network) Forward(x *mat.Dense) *mat.Dense {
 	return x
 }
 
-// softmaxCE computes per-batch mean loss and the logits gradient.
+// softmaxCE computes per-batch mean loss and the logits gradient into a
+// fresh matrix (softmaxCEInto without the buffer reuse; tests and
+// one-shot callers).
 func softmaxCE(logits *mat.Dense, y []int) (float64, *mat.Dense) {
 	grad := mat.New(logits.Rows, logits.Cols)
+	return softmaxCEInto(grad, logits, y), grad
+}
+
+// softmaxCEInto computes the per-batch mean loss, writing the logits
+// gradient into grad (pre-shaped to logits' shape, contents overwritten).
+// This is the in-place variant the training loops feed with pooled
+// scratch.
+func softmaxCEInto(grad, logits *mat.Dense, y []int) float64 {
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("eddl: softmaxCEInto grad %dx%d, want %dx%d", grad.Rows, grad.Cols, logits.Rows, logits.Cols))
+	}
 	var loss float64
 	for bi := 0; bi < logits.Rows; bi++ {
 		row := logits.Row(bi)
@@ -319,7 +403,35 @@ func softmaxCE(logits *mat.Dense, y []int) (float64, *mat.Dense) {
 	}
 	invB := 1 / float64(logits.Rows)
 	mat.ScaleInPlace(grad, invB)
-	return loss * invB, grad
+	return loss * invB
+}
+
+// batchStep stages the mini-batch selected by idx into the network's
+// pooled staging buffers, zeroes the parameter gradients, and runs one
+// forward/backward pass, leaving the accumulated gradients in Params. It
+// returns the batch loss. The whole step is allocation-free at steady
+// state: the batch matrix, every activation and every gradient matrix is
+// layer- or network-owned scratch reused across batches and epochs.
+func (n *Network) batchStep(x *mat.Dense, y []int, idx []int) float64 {
+	bx := mat.Scratch.GrowDense(&n.bx, len(idx), x.Cols)
+	mat.TakeRowsInto(bx, x, idx)
+	if cap(n.by) < len(idx) {
+		n.by = make([]int, len(idx))
+	}
+	n.by = n.by[:len(idx)]
+	for i, r := range idx {
+		n.by[i] = y[r]
+	}
+	for _, p := range n.paramList() {
+		clear(p.Grad.Data)
+	}
+	logits := n.Forward(bx)
+	grad := mat.Scratch.GrowDense(&n.ceGrad, logits.Rows, logits.Cols)
+	loss := softmaxCEInto(grad, logits, n.by)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return loss
 }
 
 // TrainEpoch runs one epoch of mini-batch SGD and returns the mean loss.
@@ -341,32 +453,12 @@ func (n *Network) TrainEpoch(x *mat.Dense, y []int, lr float64, batch int, rng *
 		if end > len(order) {
 			end = len(order)
 		}
-		idx := order[at:end]
-		bx := mat.TakeRows(x, idx)
-		by := make([]int, len(idx))
-		for i, r := range idx {
-			by[i] = y[r]
-		}
-		for _, l := range n.Layers {
-			for _, p := range l.Params() {
-				for i := range p.Grad.Data {
-					p.Grad.Data[i] = 0
-				}
+		total += n.batchStep(x, y, order[at:end])
+		for _, p := range n.paramList() {
+			for i, g := range p.Grad.Data {
+				p.W.Data[i] -= lr * g
 			}
 		}
-		logits := n.Forward(bx)
-		loss, grad := softmaxCE(logits, by)
-		for i := len(n.Layers) - 1; i >= 0; i-- {
-			grad = n.Layers[i].Backward(grad)
-		}
-		for _, l := range n.Layers {
-			for _, p := range l.Params() {
-				for i, g := range p.Grad.Data {
-					p.W.Data[i] -= lr * g
-				}
-			}
-		}
-		total += loss
 		batches++
 	}
 	return total / float64(batches), nil

@@ -233,6 +233,10 @@ func trainFoldWorkflow(tc *compss.TaskCtx, arch Arch, cfg TrainConfig, dist *com
 				sh := args[0].(*shard)
 				ws := args[1].([]*mat.Dense)
 				net := arch.Build(0)
+				// The published weights are deep copies (Weights clones);
+				// the activation/gradient scratch goes back to the pool for
+				// the next worker's epoch.
+				defer net.ReleaseScratch()
 				if err := net.SetWeights(ws); err != nil {
 					return nil, err
 				}
@@ -278,6 +282,7 @@ func trainFoldWorkflow(tc *compss.TaskCtx, arch Arch, cfg TrainConfig, dist *com
 	}, func(_ *compss.TaskCtx, args []any) (any, error) {
 		ws := args[0].([]*mat.Dense)
 		net := arch.Build(0)
+		defer net.ReleaseScratch()
 		if err := net.SetWeights(ws); err != nil {
 			return nil, err
 		}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"taskml/internal/compss"
 	"taskml/internal/costs"
@@ -194,14 +193,31 @@ func (h *kheap) offer(n neighbor, k int) {
 
 // queryBlock finds the k nearest neighbors of each row in q across every
 // fitted block, using the blocked-GEMM distance formulation:
-// ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·tᵀ. The cross term is one mat.MulABt per
-// fitted block (cache-blocked and parallel), the norms are cached at fit
-// time, and per-row k-best selection goes through a bounded heap.
+// ‖q−t‖² = ‖q‖² + ‖t‖² − 2·q·tᵀ. The cross term is one GEMM per fitted
+// block (cache-blocked and parallel), the norms are cached at fit time,
+// and per-row k-best selection goes through a bounded heap.
+//
+// The hot-path allocations are pooled: one mat.Scratch panel sized for the
+// widest fitted block holds every per-block distance product in turn, the
+// query norms live in a pooled vector, and all q.Rows heaps share one
+// backing array (each heap gets a cap-k window, which offer never
+// outgrows). Only the returned neighbor lists survive the call.
 func queryBlock(q *mat.Dense, fitted []*nnBlock, k int) [][]neighbor {
-	qn := rowNorms(q)
-	heaps := make([]kheap, q.Rows)
+	qn := mat.RowNormsInto(mat.Scratch.Get(q.Rows), q)
+	maxRows := 0
 	for _, fb := range fitted {
-		g := mat.MulABt(q, fb.x)
+		maxRows = max(maxRows, fb.x.Rows)
+	}
+	panel := mat.Scratch.GetDense(q.Rows, maxRows)
+
+	backing := make([]neighbor, q.Rows*k)
+	heaps := make([]kheap, q.Rows)
+	for r := range heaps {
+		heaps[r] = kheap(backing[r*k : r*k : (r+1)*k])
+	}
+	for _, fb := range fitted {
+		g := &mat.Dense{Rows: q.Rows, Cols: fb.x.Rows, Data: panel.Data[:q.Rows*fb.x.Rows]}
+		mat.MulABtInto(g, q, fb.x)
 		// Rows are independent (disjoint heaps, read-only g), so the
 		// selection sweep parallelises; grain keeps a chunk at a few
 		// thousand candidate updates.
@@ -219,20 +235,36 @@ func queryBlock(q *mat.Dense, fitted []*nnBlock, k int) [][]neighbor {
 			}
 		})
 	}
+	mat.Scratch.PutDense(panel)
+	mat.Scratch.Put(qn)
 	out := make([][]neighbor, q.Rows)
 	for r := range heaps {
 		nb := []neighbor(heaps[r])
-		sort.Slice(nb, func(a, b int) bool { return worseNeighbor(nb[b], nb[a]) })
+		sortNeighbors(nb)
 		out[r] = nb
 	}
 	return out
 }
 
+// sortNeighbors orders nb best-first ((d2, idx) ascending) with an
+// insertion sort: k is small and the closure-free form keeps the per-row
+// finalisation allocation-free, unlike sort.Slice.
+func sortNeighbors(nb []neighbor) {
+	for i := 1; i < len(nb); i++ {
+		j := i
+		for j > 0 && worseNeighbor(nb[j-1], nb[j]) {
+			nb[j-1], nb[j] = nb[j], nb[j-1]
+			j--
+		}
+	}
+}
+
 // vote combines the neighbors of one query into a predicted label.
 func vote(nb []neighbor, p Params) int {
-	weights := make([]float64, len(nb))
+	var weights []float64
 	switch p.Weights {
 	case Distance:
+		weights = make([]float64, len(nb))
 		for i, n := range nb {
 			d := n.d2
 			if d <= 1e-18 {
@@ -248,13 +280,15 @@ func vote(nb []neighbor, p Params) int {
 		}
 		weights = p.WeightFn(dists)
 	default:
-		for i := range weights {
-			weights[i] = 1
-		}
+		// Uniform: every vote counts 1; no weight vector needed.
 	}
 	tally := map[int]float64{}
 	for i, n := range nb {
-		tally[n.label] += weights[i]
+		if weights == nil {
+			tally[n.label]++
+		} else {
+			tally[n.label] += weights[i]
+		}
 	}
 	best, bestW := 0, -1.0
 	for label, w := range tally {

@@ -1,0 +1,227 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the scratch-arena layer: a size-bucketed, sync.Pool-backed
+// recycler for the *Dense matrices and []float64 vectors the hot loops
+// (eddl batch steps, sigproc STFT segments, knn distance blocks) would
+// otherwise allocate fresh on every iteration.
+//
+// # Ownership contract
+//
+// Pooled buffers are *task-internal scratch*. A value obtained from a Pool
+// is owned exclusively by the caller until Put returns it; after Put the
+// caller must not touch it again. Values that escape the computation that
+// allocated them — anything published through a compss.Future, stored in a
+// model, or returned across a task boundary — must be freshly allocated
+// (New / Clone), never pooled. DESIGN.md ("Memory model") states the
+// contract; SetDebug's poisoning plus the bit-identity tests in
+// internal/core enforce it.
+//
+// # Bucketing policy
+//
+// Capacities are rounded up to the next power of two and each power-of-two
+// class has its own sync.Pool, so a Get never returns a buffer with less
+// capacity than requested and reuse across slightly-different shapes (the
+// ragged last mini-batch, per-block distance panels) still hits the pool.
+// Requests above maxPooledLen (2^26 elements, 512 MiB) bypass the pool in
+// both directions.
+
+// maxPooledBits is the largest power-of-two exponent the pool buckets;
+// larger requests allocate directly and are dropped on Put.
+const maxPooledBits = 26
+
+// maxPooledLen is the largest element count served from a bucket.
+const maxPooledLen = 1 << maxPooledBits
+
+// poisonValue fills returned buffers in debug mode. NaN is chosen so any
+// arithmetic on recycled scratch that leaked into a live structure turns
+// the downstream numbers into NaN — loud, not subtly wrong.
+var poisonValue = math.NaN()
+
+// Pool is a size-bucketed scratch arena for []float64 and *Dense buffers.
+// All methods are safe for concurrent use. The zero value is ready to use;
+// most code shares the package-level Scratch pool so that buffers released
+// by one task warm the next task's Get.
+type Pool struct {
+	slices [maxPooledBits + 1]sync.Pool // of *[]float64
+	dense  [maxPooledBits + 1]sync.Pool // of *Dense (Data cap = 1<<bucket)
+	boxes  sync.Pool                    // spare *[]float64 headers, so Put itself is allocation-free
+
+	disabled atomic.Bool
+	debug    atomic.Bool
+
+	gets   atomic.Int64
+	reuses atomic.Int64
+	puts   atomic.Int64
+}
+
+// Scratch is the process-wide default pool used by the eddl, sigproc and
+// knn hot paths.
+var Scratch = &Pool{}
+
+// PoolStats is a snapshot of a pool's traffic counters.
+type PoolStats struct {
+	// Gets counts Get/GetDense calls, Reuses the subset served from a
+	// bucket rather than a fresh allocation, Puts the buffers returned.
+	Gets, Reuses, Puts int64
+}
+
+// Stats returns the pool's counters since process start.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Gets: p.gets.Load(), Reuses: p.reuses.Load(), Puts: p.puts.Load()}
+}
+
+// SetDisabled turns recycling off: Get always allocates fresh and Put
+// discards. The unpooled mode is the reference behaviour the poisoning
+// tests compare against; production code leaves it off.
+func (p *Pool) SetDisabled(v bool) { p.disabled.Store(v) }
+
+// SetDebug enables poisoning: every buffer handed to Put is filled with NaN
+// before it is recycled, so any reader that kept a reference past its Put
+// sees NaN instead of stale-but-plausible numbers. Meant for tests (the
+// internal/core aliasing test runs the whole AF pipeline this way); it
+// makes Put O(n).
+func (p *Pool) SetDebug(v bool) { p.debug.Store(v) }
+
+// bucketFor returns the bucket index whose capacity (1<<idx) holds n
+// elements, or -1 when n exceeds the pooled range.
+func bucketFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	idx := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if idx > maxPooledBits {
+		return -1
+	}
+	return idx
+}
+
+// Get returns a zeroed []float64 of length n. The buffer is scratch owned
+// by the caller until Put.
+func (p *Pool) Get(n int) []float64 {
+	p.gets.Add(1)
+	if b := bucketFor(n); b >= 0 && !p.disabled.Load() {
+		if v := p.slices[b].Get(); v != nil {
+			box := v.(*[]float64)
+			s := (*box)[:n]
+			*box = nil
+			p.boxes.Put(box)
+			p.reuses.Add(1)
+			clear(s)
+			return s
+		}
+		return make([]float64, n, 1<<b)
+	}
+	return make([]float64, n)
+}
+
+// Put returns a slice obtained from Get to its bucket. Put of a slice the
+// pool did not produce is allowed as long as its capacity is an exact
+// bucket size; anything else is silently dropped.
+func (p *Pool) Put(s []float64) {
+	if s == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.debug.Load() {
+		poison(s[:cap(s)])
+	}
+	if p.disabled.Load() {
+		return
+	}
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 || c > maxPooledLen {
+		return
+	}
+	box, _ := p.boxes.Get().(*[]float64)
+	if box == nil {
+		box = new([]float64)
+	}
+	*box = s[:c]
+	p.slices[bits.Len(uint(c))-1].Put(box)
+}
+
+// GetDense returns a zeroed r×c matrix whose backing array is pooled
+// scratch. It is the arena counterpart of New; the matrix is owned by the
+// caller until PutDense.
+func (p *Pool) GetDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	n := r * c
+	p.gets.Add(1)
+	if b := bucketFor(n); b >= 0 && !p.disabled.Load() {
+		if v := p.dense[b].Get(); v != nil {
+			m := v.(*Dense)
+			m.Rows, m.Cols = r, c
+			m.Data = m.Data[:n]
+			p.reuses.Add(1)
+			clear(m.Data)
+			return m
+		}
+		return &Dense{Rows: r, Cols: c, Data: make([]float64, n, 1<<b)}
+	}
+	return New(r, c)
+}
+
+// PutDense recycles a matrix obtained from GetDense. The caller must hold
+// the only live reference: both the header and its Data are reused by a
+// later GetDense.
+func (p *Pool) PutDense(m *Dense) {
+	if m == nil {
+		return
+	}
+	p.puts.Add(1)
+	if p.debug.Load() {
+		poison(m.Data[:cap(m.Data)])
+	}
+	if p.disabled.Load() {
+		return
+	}
+	c := cap(m.Data)
+	if c == 0 || c&(c-1) != 0 || c > maxPooledLen {
+		return
+	}
+	m.Rows, m.Cols = 0, 0
+	m.Data = m.Data[:0]
+	p.dense[bits.Len(uint(c))-1].Put(m)
+}
+
+// GrowDense reuses *buf as an r×c matrix when its backing capacity
+// suffices, zeroing the used region; otherwise it recycles *buf and draws a
+// larger matrix from the pool. It is the idiom behind per-layer scratch in
+// internal/eddl: a field holds the buffer across iterations, GrowDense
+// reshapes it per step, and one PutDense releases it when the loop ends.
+func (p *Pool) GrowDense(buf **Dense, r, c int) *Dense {
+	n := r * c
+	if m := *buf; m != nil && cap(m.Data) >= n {
+		m.Rows, m.Cols = r, c
+		m.Data = m.Data[:n]
+		clear(m.Data)
+		return m
+	}
+	p.PutDense(*buf)
+	*buf = p.GetDense(r, c)
+	return *buf
+}
+
+// ReleaseDense recycles *buf and nils the field; a nil *buf is a no-op.
+func (p *Pool) ReleaseDense(buf **Dense) {
+	if *buf != nil {
+		p.PutDense(*buf)
+		*buf = nil
+	}
+}
+
+func poison(s []float64) {
+	for i := range s {
+		s[i] = poisonValue
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package mat
+
+// raceEnabled relaxes pool-reuse assertions: under the race detector
+// sync.Pool intentionally drops a fraction of Puts to shake out lifetime
+// bugs, so reuse is probabilistic rather than guaranteed.
+const raceEnabled = true

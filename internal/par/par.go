@@ -149,6 +149,74 @@ func For(n, grain int, fn func(lo, hi int)) {
 	pan.rethrow()
 }
 
+// ForScratch is For for loop bodies that need per-goroutine scratch (an
+// arena buffer, an FFT work area): each goroutine that participates in the
+// region — the caller plus any helpers that won a token — calls get exactly
+// once before its first chunk and put exactly once after its last, so a
+// scratch value is reused across all the chunks one goroutine executes and
+// never shared between two. The handoff composes with SetLimit the same way
+// For does: at Limit() == 1 (or a drained pool) the whole loop runs on the
+// caller with a single get/put pair around one fn(0, n, scratch) call, so
+// the serial path costs one scratch checkout, not one per chunk.
+//
+// fn must treat scratch as exclusively owned for the duration of a call;
+// put receives the value back for recycling (typically a mat.Pool.Put).
+func ForScratch(n, grain int, get func() any, put func(any), fn func(lo, hi int, scratch any)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	p := current.Load()
+	if chunks == 1 || p.limit == 1 {
+		s := get()
+		fn(0, n, s)
+		put(s)
+		return
+	}
+
+	var next int64
+	var pan firstPanic
+	work := func() {
+		s := get()
+		defer put(s)
+		defer pan.capture()
+		for {
+			c := atomic.AddInt64(&next, 1) - 1
+			if c >= int64(chunks) {
+				return
+			}
+			lo := int(c) * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi, s)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < chunks-1; spawned++ {
+		select {
+		case <-p.tokens:
+		default:
+			spawned = chunks // pool drained: run the rest on the caller
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { p.tokens <- struct{}{} }()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	pan.rethrow()
+}
+
 // Do runs the thunks, concurrently when helper tokens are free, and returns
 // when all have completed. With Limit() == 1 (or a drained pool) the thunks
 // run sequentially on the caller.

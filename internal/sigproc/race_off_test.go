@@ -1,0 +1,5 @@
+//go:build !race
+
+package sigproc
+
+const raceEnabled = false

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"taskml/internal/mat"
 	"taskml/internal/par"
@@ -46,12 +47,22 @@ func IFFT(x []complex128) []complex128 {
 }
 
 func fft(x []complex128, inverse bool) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, inverse)
+	return out
+}
+
+// fftInPlace transforms x in place: the bit-reversal permutation is an
+// involution, so it reduces to swaps, and the butterfly passes already
+// operate on the permuted array. Identical arithmetic (and therefore
+// bit-identical output) to the allocating form — this is the work-buffer
+// kernel Plan reuses across STFT segments.
+func fftInPlace(x []complex128, inverse bool) {
 	n := len(x)
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("sigproc: FFT length %d is not a power of two", n))
 	}
-	out := make([]complex128, n)
-	// Bit-reversal permutation.
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -63,7 +74,9 @@ func fft(x []complex128, inverse bool) []complex128 {
 				rev |= 1 << (bits - 1 - b)
 			}
 		}
-		out[rev] = x[i]
+		if i < rev {
+			x[i], x[rev] = x[rev], x[i]
+		}
 	}
 	sign := -1.0
 	if inverse {
@@ -75,15 +88,14 @@ func fft(x []complex128, inverse bool) []complex128 {
 		for start := 0; start < n; start += size {
 			w := complex(1, 0)
 			for k := 0; k < half; k++ {
-				a := out[start+k]
-				b := out[start+k+half] * w
-				out[start+k] = a + b
-				out[start+k+half] = a - b
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
 				w *= step
 			}
 		}
 	}
-	return out
 }
 
 // Hann returns the n-point Hann window (the window we use for the STFT; the
@@ -147,62 +159,145 @@ func (c SpectrogramConfig) NumSegments(n int) int {
 // NumBins returns the number of one-sided frequency bins.
 func (c SpectrogramConfig) NumBins() int { return c.WindowSize/2 + 1 }
 
-// Spectrogram computes the one-sided power spectral density spectrogram of
-// x: rows are frequency bins (NumBins), columns are time segments, matching
-// scipy.signal.spectrogram's layout where "each column contains an estimate
-// of the short-term, time-localized frequency components" (§III-B.3).
-// It also returns the bin frequencies (Hz) and segment center times (s).
-func Spectrogram(x []float64, c SpectrogramConfig) (*mat.Dense, []float64, []float64, error) {
+// Plan is a reusable STFT execution: the Hann window, its power
+// normalisation and the per-goroutine FFT work buffers are computed or
+// pooled once and amortised over every Execute call with the same
+// configuration. Plans are safe for concurrent use; the feature-extraction
+// tasks that spectrogram thousands of recordings share one plan per
+// configuration through the cache behind Spectrogram.
+type Plan struct {
+	cfg   SpectrogramConfig
+	win   []float64
+	scale float64
+	bufs  sync.Pool // *[]complex128 FFT work buffers, one per goroutine
+
+	// getFn/putFn are the pool accessors as prebuilt func values: method
+	// values allocate a closure at every use site, which would put two
+	// allocations back into every ExecuteInto call.
+	getFn func() any
+	putFn func(any)
+}
+
+// NewPlan validates c and precomputes the window.
+func NewPlan(c SpectrogramConfig) (*Plan, error) {
 	if err := c.Validate(); err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	nseg := c.NumSegments(len(x))
-	if nseg == 0 {
-		return nil, nil, nil, fmt.Errorf("sigproc: signal length %d shorter than window %d", len(x), c.WindowSize)
-	}
-	hop := c.WindowSize - c.Overlap
 	win := Hann(c.WindowSize)
 	var winPow float64
 	for _, w := range win {
 		winPow += w * w
 	}
-	scale := 1 / (c.Fs * winPow)
+	p := &Plan{cfg: c, win: win, scale: 1 / (c.Fs * winPow)}
+	p.getFn, p.putFn = p.getBuf, p.putBuf
+	return p, nil
+}
 
-	nb := c.NumBins()
-	out := mat.New(nb, nseg)
-	// Segments are independent: each chunk gets its own window buffer and
-	// writes a disjoint set of output columns, so the loop parallelises
-	// cleanly over internal/par. Grain keeps a chunk at ≥ a few thousand
-	// butterfly operations.
-	grain := 1 + (1<<13)/c.WindowSize
-	par.For(nseg, grain, func(lo, hi int) {
-		buf := make([]complex128, c.WindowSize)
-		for s := lo; s < hi; s++ {
-			off := s * hop
-			for i := 0; i < c.WindowSize; i++ {
-				buf[i] = complex(x[off+i]*win[i], 0)
-			}
-			spec := FFT(buf)
-			for b := 0; b < nb; b++ {
-				p := real(spec[b])*real(spec[b]) + imag(spec[b])*imag(spec[b])
-				p *= scale
-				if b != 0 && b != c.WindowSize/2 {
-					p *= 2 // one-sided: fold the negative frequencies
-				}
-				out.Set(b, s, p)
-			}
-		}
-	})
+// Config returns the plan's configuration.
+func (p *Plan) Config() SpectrogramConfig { return p.cfg }
 
-	freqs := make([]float64, nb)
+func (p *Plan) getBuf() any {
+	if v := p.bufs.Get(); v != nil {
+		return v
+	}
+	b := make([]complex128, p.cfg.WindowSize)
+	return &b
+}
+
+func (p *Plan) putBuf(v any) { p.bufs.Put(v) }
+
+// Execute computes the spectrogram of x into a freshly allocated matrix
+// (with bin frequencies and segment times, like Spectrogram). The result
+// is independent of plan scratch and safe to publish through a Future.
+func (p *Plan) Execute(x []float64) (*mat.Dense, []float64, []float64, error) {
+	c := p.cfg
+	nseg := c.NumSegments(len(x))
+	if nseg == 0 {
+		return nil, nil, nil, fmt.Errorf("sigproc: signal length %d shorter than window %d", len(x), c.WindowSize)
+	}
+	out := mat.New(c.NumBins(), nseg)
+	p.ExecuteInto(x, out)
+	freqs := make([]float64, c.NumBins())
 	for b := range freqs {
 		freqs[b] = float64(b) * c.Fs / float64(c.WindowSize)
 	}
+	hop := c.WindowSize - c.Overlap
 	times := make([]float64, nseg)
 	for s := range times {
 		times[s] = (float64(s*hop) + float64(c.WindowSize)/2) / c.Fs
 	}
 	return out, freqs, times, nil
+}
+
+// ExecuteInto computes the spectrogram of x into dst, which must be
+// pre-shaped to NumBins × NumSegments(len(x)) — typically pooled scratch
+// when the flattened features, not the matrix itself, are what escapes.
+// The per-segment loop is allocation-free: FFT work buffers come from the
+// plan's pool, one per participating goroutine (par.ForScratch), and are
+// returned when the region drains.
+func (p *Plan) ExecuteInto(x []float64, dst *mat.Dense) {
+	c := p.cfg
+	nseg := c.NumSegments(len(x))
+	nb := c.NumBins()
+	if dst.Rows != nb || dst.Cols != nseg {
+		panic(fmt.Sprintf("sigproc: ExecuteInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, nb, nseg))
+	}
+	hop := c.WindowSize - c.Overlap
+	win := p.win
+	scale := p.scale
+	// Segments are independent: each goroutine reuses one work buffer for
+	// all its chunks and writes a disjoint set of output columns. Grain
+	// keeps a chunk at ≥ a few thousand butterfly operations.
+	grain := 1 + (1<<13)/c.WindowSize
+	par.ForScratch(nseg, grain, p.getFn, p.putFn, func(lo, hi int, scratch any) {
+		buf := *(scratch.(*[]complex128))
+		for s := lo; s < hi; s++ {
+			off := s * hop
+			for i := 0; i < c.WindowSize; i++ {
+				buf[i] = complex(x[off+i]*win[i], 0)
+			}
+			fftInPlace(buf, false)
+			for b := 0; b < nb; b++ {
+				pw := real(buf[b])*real(buf[b]) + imag(buf[b])*imag(buf[b])
+				pw *= scale
+				if b != 0 && b != c.WindowSize/2 {
+					pw *= 2 // one-sided: fold the negative frequencies
+				}
+				dst.Set(b, s, pw)
+			}
+		}
+	})
+}
+
+// plans caches one Plan per configuration so repeated Spectrogram calls —
+// the per-recording feature tasks — share windows and work buffers.
+var plans sync.Map // SpectrogramConfig → *Plan
+
+// PlanFor returns the cached plan for c, creating it on first use.
+func PlanFor(c SpectrogramConfig) (*Plan, error) {
+	if v, ok := plans.Load(c); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(c)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := plans.LoadOrStore(c, p)
+	return v.(*Plan), nil
+}
+
+// Spectrogram computes the one-sided power spectral density spectrogram of
+// x: rows are frequency bins (NumBins), columns are time segments, matching
+// scipy.signal.spectrogram's layout where "each column contains an estimate
+// of the short-term, time-localized frequency components" (§III-B.3).
+// It also returns the bin frequencies (Hz) and segment center times (s).
+// Repeated calls with the same configuration reuse a cached Plan.
+func Spectrogram(x []float64, c SpectrogramConfig) (*mat.Dense, []float64, []float64, error) {
+	p, err := PlanFor(c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p.Execute(x)
 }
 
 // Flatten concatenates the spectrogram rows into the 1-D feature vector the

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Benchmark sweep: runs every benchmark in the repository with -benchmem and
+# writes the results as JSON (benchmark name → ns/op, B/op, allocs/op) for
+# before/after comparison across PRs.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Defaults to BENCH_PR4.json in the repository root. Two tiers keep the
+# sweep inside a CI budget: the root package's experiment benchmarks
+# (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
+# run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
+# benchmarks are cheap and run warm (BENCHTIME_MICRO, default 100x —
+# steady-state numbers are the point of the scratch arenas).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR4.json}
+micro=${BENCHTIME_MICRO:-100x}
+experiment=${BENCHTIME_EXPERIMENT:-1x}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -run=NONE -bench=. -benchmem -benchtime=$micro ./internal/..."
+go test -run=NONE -bench=. -benchmem -benchtime="$micro" ./internal/... 2>&1 | tee "$tmp"
+
+echo "== go test -run=NONE -bench=. -benchmem -benchtime=$experiment -timeout=40m ."
+go test -run=NONE -bench=. -benchmem -benchtime="$experiment" -timeout=40m . 2>&1 | tee -a "$tmp"
+
+awk '
+    # go test -benchmem lines look like:
+    #   BenchmarkName-8   	  20	  123456 ns/op	  7890 B/op	  12 allocs/op
+    # (plus optional custom metrics between ns/op and B/op).
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op")     ns     = $(i - 1)
+            if ($i == "B/op")      bytes  = $(i - 1)
+            if ($i == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns != "" && bytes != "" && allocs != "") {
+            results[name] = sprintf("{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", ns, bytes, allocs)
+            if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+        }
+    }
+    END {
+        printf "{\n"
+        for (i = 1; i <= n; i++) {
+            printf "  \"%s\": %s%s\n", order[i], results[order[i]], (i < n ? "," : "")
+        }
+        printf "}\n"
+    }
+' "$tmp" > "$out"
+
+echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks)"

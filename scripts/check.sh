@@ -25,11 +25,19 @@ echo "== go test -race ./..."
 go test -race ./...
 
 # The fault-tolerance layer retries attempts concurrently with nested
-# submission and deadline timers, and the trace golden test asserts the
-# exported shape is schedule-independent; run these packages twice under
-# the race detector to shake out ordering-dependent bugs a single pass can
-# miss.
-echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/..."
-go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/...
+# submission and deadline timers, the trace golden test asserts the
+# exported shape is schedule-independent, and the eddl training loop now
+# runs on pooled scratch shared across workers; run these packages twice
+# under the race detector to shake out ordering-dependent bugs a single
+# pass can miss.
+echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/..."
+go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/...
+
+# Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
+# regression that re-inflates the per-task allocation count is visible in
+# every gate run (the numbers land in the log; BENCH_PR4.json via
+# scripts/bench.sh is the recorded baseline).
+echo "== go test -run=NONE -bench=Submit -benchtime=100x -benchmem ."
+go test -run=NONE -bench=Submit -benchtime=100x -benchmem .
 
 echo "ok"
