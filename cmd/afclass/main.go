@@ -11,6 +11,8 @@
 //	afclass -model rf            # a single model
 //	afclass -scale 4             # 4× the class counts (slower, smoother)
 //	afclass -trace run.json      # Chrome trace of the run (open in Perfetto)
+//	afclass -backend remote      # registered tasks on loopback worker processes
+//	afclass -backend remote -peers host1:7077,host2:7077   # external workers
 package main
 
 import (
@@ -21,18 +23,32 @@ import (
 
 	"taskml/internal/compss"
 	"taskml/internal/core"
+	"taskml/internal/exec"
 	"taskml/internal/par"
 	"taskml/internal/trace"
 )
 
 func main() {
+	exec.MaybeWorkerMain() // loopback re-exec hook: serve tasks instead when spawned as a worker
 	model := flag.String("model", "all", "model to run: csvm | knn | rf | cnn | all")
 	scale := flag.Int("scale", 1, "dataset scale (1 → 120 Normal + 18 AF before augmentation)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "runtime worker goroutines (0 = GOMAXPROCS)")
 	nested := flag.Bool("nested", false, "use nesting for the CNN (Figure 10)")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the real execution to this file")
+	backendMode := flag.String("backend", "local", "execution backend: local | remote")
+	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
+	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
+	slots := flag.Int("slots", 1, "task slots per loopback worker")
 	flag.Parse()
+
+	backend, err := exec.OpenBackend(*backendMode, *peers, *loopback, *slots)
+	if err != nil {
+		fatal(err)
+	}
+	if backend != nil {
+		defer backend.Close()
+	}
 
 	// Dataset construction runs on the master, before any task runtime
 	// exists: let the kernel layer (internal/par) use the whole machine.
@@ -51,6 +67,7 @@ func main() {
 	cfg := core.TableIPipeline(*seed)
 	cfg.Workers = *workers
 	cfg.CNNNested = *nested
+	cfg.Backend = backend
 
 	// One collector spans the PCA runtime and every per-model runtime, so
 	// the exported trace shows the whole experiment on a shared clock.
@@ -68,7 +85,7 @@ func main() {
 	// The PCA stage is shared by all models (the paper excludes its
 	// constant time from the per-model results); run it once.
 	start = time.Now()
-	rt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers})
+	rt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers, Backend: backend})
 	rx, k, err := core.ReduceWithPCA(rt, ds, cfg)
 	if err != nil {
 		fatal(err)
@@ -81,7 +98,7 @@ func main() {
 	}
 	for _, m := range models {
 		start = time.Now()
-		mrt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers})
+		mrt := compss.New(compss.Config{Workers: *workers, Observers: cfg.Observers, Backend: backend})
 		rep, err := core.RunCVReduced(m, mrt, rx, k, ds.Y, cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", m, err))

@@ -24,11 +24,13 @@ import (
 	"taskml/internal/compss"
 	"taskml/internal/core"
 	"taskml/internal/eddl"
+	"taskml/internal/exec"
 	"taskml/internal/par"
 	"taskml/internal/svm"
 )
 
 func main() {
+	exec.MaybeWorkerMain() // loopback re-exec hook: serve tasks instead when spawned as a worker
 	model := flag.String("model", "csvm", "workflow: csvm | knn | rf | cnn | cnn-nested")
 	nodes := flag.Int("nodes", 2, "virtual cluster nodes (MareNostrum4 for classical models, CTE-Power for the CNN)")
 	samples := flag.Int("samples", 300, "dataset rows for the captured instance")
@@ -37,7 +39,17 @@ func main() {
 	retries := flag.Int("retries", 2, "per-task retry budget when -faults is set")
 	backoff := flag.Float64("backoff", 5, "virtual-time retry backoff base in seconds")
 	traceOut := flag.String("trace", "", "write the replayed schedule as a Chrome trace to this file")
+	backendMode := flag.String("backend", "local", "execution backend for the captured run: local | remote")
+	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
 	flag.Parse()
+
+	backend, err := exec.OpenBackend(*backendMode, *peers, 2, 1)
+	if err != nil {
+		fatal(err)
+	}
+	if backend != nil {
+		defer backend.Close()
+	}
 
 	ds, err := core.BuildDataset(core.DataConfig{
 		NNormal: *samples * 3 / 4, NAF: *samples / 4, Seed: 1,
@@ -59,6 +71,7 @@ func main() {
 		BlockCols: ds.X.Cols,
 		CSVM:      svm.CascadeParams{Iterations: 2},
 		CNNTrain:  eddl.TrainConfig{Folds: 5, Epochs: 7, Workers: 4},
+		Backend:   backend,
 	}
 	if *faults > 0 {
 		cfg.Faults = &compss.FaultPlan{Faults: []compss.Fault{

@@ -43,6 +43,7 @@ import (
 	"taskml/internal/core"
 	"taskml/internal/dsarray"
 	"taskml/internal/eddl"
+	"taskml/internal/exec"
 	"taskml/internal/graph"
 	"taskml/internal/mat"
 	"taskml/internal/par"
@@ -89,6 +90,10 @@ var (
 	collector *trace.Collector
 	traceOut  string
 )
+
+// backend is the execution backend behind -backend/-peers (nil = local),
+// shared by the runners the same way ft is.
+var backend exec.Backend
 
 // replayPath derives the replay trace's file name from -trace's value:
 // base.json → base.replay.json.
@@ -140,6 +145,7 @@ func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
 	if collector != nil {
 		cfg.Observers = []compss.Observer{collector}
 	}
+	cfg.Backend = backend
 	if ft.every <= 0 {
 		return cfg
 	}
@@ -150,6 +156,7 @@ func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
 }
 
 func main() {
+	exec.MaybeWorkerMain() // loopback re-exec hook: serve tasks instead when spawned as a worker
 	exp := flag.String("exp", "csvm", "experiment: csvm | knn | rf | cnn | pca")
 	samples := flag.Int("samples", 1200, "dataset rows (after balancing)")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -157,9 +164,20 @@ func main() {
 	flag.IntVar(&ft.retries, "retries", 2, "per-task retry budget when -faults is set")
 	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (the retry after failed attempt k waits backoff·2^k)")
 	flag.StringVar(&traceOut, "trace", "", "write Chrome traces: the real run to this file, the last replayed schedule to <name>.replay.json")
+	backendMode := flag.String("backend", "local", "execution backend: local | remote")
+	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
+	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
 	flag.Parse()
 	if traceOut != "" {
 		collector = trace.NewCollector()
+	}
+	var err error
+	backend, err = exec.OpenBackend(*backendMode, *peers, *loopback, 1)
+	if err != nil {
+		fatal(err)
+	}
+	if backend != nil {
+		defer backend.Close()
 	}
 
 	fmt.Printf("generating dataset (%d rows)...\n", *samples)
@@ -194,7 +212,7 @@ func main() {
 	if collector != nil {
 		obs = []compss.Observer{collector}
 	}
-	rt := compss.New(compss.Config{Observers: obs})
+	rt := compss.New(compss.Config{Observers: obs, Backend: backend})
 	rx, k, err := core.ReduceWithPCA(rt, ds, core.PipelineConfig{BlockRows: 100, BlockCols: 100})
 	if err != nil {
 		fatal(err)
@@ -398,6 +416,7 @@ func runPCA(ds *core.Dataset) {
 	if collector != nil {
 		rcfg.Observers = []compss.Observer{collector}
 	}
+	rcfg.Backend = backend
 	rt := compss.New(rcfg)
 	xa := dsarray.FromMatrix(rt.Main(), ds.X, 100, 100)
 	pca := preproc.PCA{VarianceToRetain: 0.95}

@@ -23,18 +23,30 @@ import (
 	"taskml/internal/compss"
 	"taskml/internal/core"
 	"taskml/internal/eddl"
+	"taskml/internal/exec"
 	"taskml/internal/par"
 	"taskml/internal/trace"
 )
 
 func main() {
+	exec.MaybeWorkerMain() // loopback re-exec hook: serve tasks instead when spawned as a worker
 	model := flag.String("model", "csvm", "workflow to capture: csvm | knn | rf | cnn | cnn-nested")
 	samples := flag.Int("samples", 160, "dataset rows for the reduced instance")
 	blockRows := flag.Int("block-rows", 40, "ds-array row-block size")
 	stats := flag.Bool("stats", false, "print graph statistics instead of DOT")
 	provenance := flag.Bool("provenance", false, "print a provenance JSON record instead of DOT")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the captured run to this file")
+	backendMode := flag.String("backend", "local", "execution backend for the captured run: local | remote")
+	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
 	flag.Parse()
+
+	backend, err := exec.OpenBackend(*backendMode, *peers, 2, 1)
+	if err != nil {
+		fatal(err)
+	}
+	if backend != nil {
+		defer backend.Close()
+	}
 
 	ds, err := core.BuildDataset(core.DataConfig{
 		NNormal: *samples * 3 / 4, NAF: *samples / 4, Seed: 1,
@@ -55,6 +67,7 @@ func main() {
 		BlockRows: *blockRows,
 		BlockCols: 64,
 		CNNTrain:  eddl.TrainConfig{Folds: 5, Epochs: 3, Workers: 4},
+		Backend:   backend,
 	}
 	m := core.Model(*model)
 	if *model == "cnn-nested" {

@@ -1,0 +1,49 @@
+// Command worker serves the library's registered task functions to a
+// remote coordinator (see internal/exec): it listens on a TCP address,
+// handshakes with protocol version and slot count, and executes
+// gob-serialised task requests until killed. Start one per machine (or per
+// core set), then point a cmd tool at the fleet:
+//
+//	worker -listen :7077 &
+//	worker -listen :7078 &
+//	afclass -model rf -backend remote -peers 127.0.0.1:7077,127.0.0.1:7078
+//
+// The worker caps the shared kernel layer at one goroutine per task body
+// (internal/par): its parallelism budget is -slots concurrent bodies, and
+// cluster-level parallelism comes from running many workers.
+//
+// The binary links internal/core, so it carries every registered function
+// of the library — dsarray block ops, the random-forest tasks, the
+// preprocessing tasks — and can serve any coordinator built from this
+// module at the same protocol version.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	// Imported for its transitive task registrations (dsarray, forest,
+	// preproc, ...): linking core populates the exec registry.
+	_ "taskml/internal/core"
+
+	"taskml/internal/exec"
+)
+
+func main() {
+	exec.MaybeWorkerMain() // also usable as a loopback re-exec target
+	listen := flag.String("listen", ":7077", "TCP address to serve task requests on")
+	slots := flag.Int("slots", 1, "concurrent task bodies this worker runs")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	if err := exec.Serve(l, exec.WorkerConfig{Slots: *slots, Log: os.Stderr}); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+}

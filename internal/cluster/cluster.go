@@ -1,16 +1,3 @@
-// Package cluster models the distributed infrastructure the paper evaluates
-// on (MareNostrum4 general-purpose nodes and the CTE-Power GPU partition)
-// and provides a deterministic scheduler that replays a captured task graph
-// (internal/graph) against a cluster description.
-//
-// Tasks in taskml really execute — model outputs are real — but *time* is
-// virtual: every task carries an analytic cost in reference-core seconds and
-// the scheduler computes when it would have started and finished on the
-// described machine, charging interconnect transfers for dependencies that
-// cross nodes and an extra master hop for dependencies created through a
-// main-program synchronisation. Replaying one captured graph on a sweep of
-// cluster sizes regenerates the scalability figures (11a-c, 12) of the
-// paper without needing hundreds of physical cores.
 package cluster
 
 import (

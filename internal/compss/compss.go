@@ -1,35 +1,3 @@
-// Package compss is a task-based workflow runtime in the style of PyCOMPSs,
-// the programming model the paper builds on: plain functions become
-// asynchronous tasks, data dependencies between tasks are detected
-// automatically from their arguments, and the runtime executes the resulting
-// DAG in parallel.
-//
-// # Programming model
-//
-// A task is submitted with Submit (from the main program) or TaskCtx.Submit
-// (from inside another task — "nesting", the PyCOMPSs feature the paper uses
-// to overlap the CNN folds in Figure 10). Any argument that is a *Future, or
-// a []*Future, marks a dependency on the producing task; the runtime resolves
-// it to the produced value before the task body runs:
-//
-//	a := rt.Submit(compss.Opts{Name: "load", Cost: 1}, loadFn)
-//	b := rt.Submit(compss.Opts{Name: "fit", Cost: 5}, fitFn, a) // waits for a
-//	model, err := rt.Get(b)                                     // synchronises
-//
-// Get is a synchronisation: besides blocking the caller, it raises the
-// calling context's *sync floor* — tasks submitted afterwards cannot, in
-// virtual time, start before the synchronised value reached the master.
-// This reproduces the behaviour the paper describes for Figure 9, where each
-// epoch's weight synchronisation "stops the generation of tasks". Nested
-// contexts have their own local floor, so a Get inside a nested task does
-// not delay sibling tasks — the Figure 10 improvement.
-//
-// # Execution and time
-//
-// Tasks really run, on a goroutine pool of Config.Workers slots, so model
-// outputs are genuine. Virtual time is handled elsewhere: every submission
-// is recorded in a graph.Graph (with its analytic cost and resource demand)
-// that internal/cluster replays against a virtual cluster description.
 package compss
 
 import (
@@ -39,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskml/internal/exec"
 	"taskml/internal/graph"
 )
 
@@ -88,6 +57,16 @@ type Opts struct {
 	// []any of length nOut. Fallback values may be shared between tasks and
 	// must be treated as read-only by consumers.
 	Fallback any
+	// Exec names a registered execution-backend function (exec.Register)
+	// standing in for the task body: the attempt runs through
+	// Config.Backend when one is attached — typically on a remote worker
+	// process — and through an in-process registry call otherwise, with
+	// identical semantics. Tasks submitted with SubmitExec/SubmitExecN set
+	// it; tasks with a closure body leave it empty and always run
+	// in-process. Retries, deadlines, fault injection and failure policies
+	// apply identically either way: a backend failure (worker crash,
+	// dropped connection) is an attempt failure like any other.
+	Exec string
 }
 
 // FailurePolicy is the runtime-wide answer to a task exhausting its attempts.
@@ -135,6 +114,11 @@ type Config struct {
 	// is copied at New; attaching no observers keeps the submit path free
 	// of instrumentation cost (one atomic nil-check per would-be event).
 	Observers []Observer
+	// Backend executes Opts.Exec-named attempts (see internal/exec). Nil —
+	// the default — runs them in-process via the registry, with zero cost
+	// over a closure body; an exec.Remote ships them to worker processes.
+	// Tasks without an Exec name never touch the backend.
+	Backend exec.Backend
 }
 
 // Runtime executes tasks and captures the workflow graph.
@@ -206,6 +190,19 @@ func (rt *Runtime) Submit(o Opts, fn TaskFunc, args ...any) *Future {
 // It forwards to Main().SubmitN; see TaskCtx.SubmitN.
 func (rt *Runtime) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*Future {
 	return rt.main.SubmitN(o, nOut, fn, args...)
+}
+
+// SubmitExec schedules a registered backend function as a task of the main
+// program. It forwards to Main().SubmitExec; see TaskCtx.SubmitExec.
+func (rt *Runtime) SubmitExec(o Opts, args ...any) *Future {
+	return rt.main.SubmitExec(o, args...)
+}
+
+// SubmitExecN schedules a registered multi-output backend function as a
+// task of the main program. It forwards to Main().SubmitExecN; see
+// TaskCtx.SubmitExecN.
+func (rt *Runtime) SubmitExecN(o Opts, nOut int, args ...any) []*Future {
+	return rt.main.SubmitExecN(o, nOut, args...)
 }
 
 // Get synchronises on f from the main program: it blocks until the value is
@@ -315,6 +312,40 @@ func (tc *TaskCtx) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*F
 		panic("compss: SubmitN needs nOut >= 1")
 	}
 	return tc.submit(o, nOut, nil, fn, args)
+}
+
+// SubmitExec schedules the registered backend function o.Exec as a
+// single-output task: instead of a closure body, the attempt invokes the
+// exec registry — in-process by default, or on a worker process when the
+// runtime has a remote Backend. Dependency detection, retries, deadlines
+// and observers behave exactly as for Submit. It panics if o.Exec is empty
+// or names nothing registered, so typos fail at the submit site.
+//
+// Registered bodies cannot submit nested tasks (they receive no TaskCtx —
+// a worker process has no route back into the coordinator's graph); use
+// Submit with a closure for nesting workflows.
+func (tc *TaskCtx) SubmitExec(o Opts, args ...any) *Future {
+	tc.checkExec(o)
+	return tc.submit(o, 1, nil, nil, args)[0]
+}
+
+// SubmitExecN is SubmitExec for a registered function with nOut outputs
+// (the exec counterpart of SubmitN).
+func (tc *TaskCtx) SubmitExecN(o Opts, nOut int, args ...any) []*Future {
+	if nOut <= 0 {
+		panic("compss: SubmitExecN needs nOut >= 1")
+	}
+	tc.checkExec(o)
+	return tc.submit(o, nOut, nil, nil, args)
+}
+
+func (tc *TaskCtx) checkExec(o Opts) {
+	if o.Exec == "" {
+		panic("compss: SubmitExec needs Opts.Exec")
+	}
+	if !exec.Has(o.Exec) {
+		panic(fmt.Sprintf("compss: Opts.Exec %q is not registered (exec.Register it at init)", o.Exec))
+	}
 }
 
 // appendArgDep adds an argument dependency on task id, collapsing duplicate
@@ -543,14 +574,14 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 			} else {
 				st.vals[0] = res.val // single-output fast path (nOut == 1)
 			}
-			rt.emitAt(EventEnd, st, attempt, bodyDone, nil, "", false)
+			rt.emitAt(EventEnd, st, attempt, bodyDone, nil, "", false, res.worker)
 			break
 		}
 		rt.g.RecordFailure(graph.FailureEvent{
 			Task: id, Attempt: attempt, Mode: res.mode, CostFraction: res.frac, At: bodyDone,
 		})
 		if attempt < st.retries {
-			rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false)
+			rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false, res.worker)
 			rt.emit(EventRetry, st, attempt+1, nil, "", false)
 			continue
 		}
@@ -559,13 +590,13 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 				st.vals = vals
 				st.degraded = true
 				rt.g.MarkDegraded(id)
-				rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false)
+				rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, false, res.worker)
 				rt.emit(EventDegrade, st, attempt, nil, "", false)
 				break
 			}
 		}
 		st.err = res.err
-		rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, true)
+		rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, true, res.worker)
 		break
 	}
 }
@@ -589,6 +620,9 @@ type attemptResult struct {
 	// pool (the timed-out body was parked in blockingWait when abandoned),
 	// so the run loop must not release it a second time.
 	slotLost bool
+	// worker identifies the execution-backend worker that ran the attempt;
+	// "" for in-process execution (including every non-Exec task).
+	worker string
 }
 
 // execAttempt runs one attempt of the task body inside the caller's worker
@@ -619,25 +653,33 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 				}
 			}
 		}()
-		if fn1 != nil {
+		switch {
+		case fn1 != nil:
 			v, err := fn1(child, resolved)
 			if err != nil {
 				return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
 			}
 			return attemptResult{val: v}
-		}
-		vals, err := fnN(child, resolved)
-		switch {
-		case err != nil:
-			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
-		case len(vals) != nOut:
-			return attemptResult{
-				err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("returned %d values, declared %d", len(vals), nOut)},
-				mode: "error",
-				frac: 1,
+		case fnN != nil:
+			vals, err := fnN(child, resolved)
+			switch {
+			case err != nil:
+				return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
+			case len(vals) != nOut:
+				return attemptResult{
+					err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("returned %d values, declared %d", len(vals), nOut)},
+					mode: "error",
+					frac: 1,
+				}
 			}
+			return attemptResult{vals: vals}
+		default:
+			// Exec-named body (SubmitExec): dispatch through the backend.
+			// Injected faults never reach here — the injected body replaced
+			// fnN above, so a fault-plan entry fails the attempt without a
+			// wire round-trip, exactly as it bypasses closure bodies.
+			return rt.execBody(st, nOut, resolved)
 		}
-		return attemptResult{vals: vals}
 	}
 
 	d := st.opts.Deadline
@@ -674,6 +716,56 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 			slotLost: !held,
 		}
 	}
+}
+
+// execBody runs one attempt of an Opts.Exec-named task. With a Backend
+// attached the attempt is the backend's problem (an exec.Remote ships it to
+// a worker process and the returned worker id lands on the End/Failure
+// event); without one it is a direct registry call — the single-output
+// local path passes the value by copy, so an in-process exec task costs the
+// same as a closure body.
+func (rt *Runtime) execBody(st *taskState, nOut int, resolved []any) attemptResult {
+	name := st.opts.Exec
+	if be := rt.cfg.Backend; be != nil {
+		vals, worker, err := be.Execute(name, nOut, resolved)
+		if err != nil {
+			return attemptResult{
+				err:    &TaskError{ID: st.id, Name: st.name, Err: err},
+				mode:   "error",
+				frac:   1,
+				worker: worker,
+			}
+		}
+		if nOut == 1 {
+			return attemptResult{val: vals[0], worker: worker}
+		}
+		return attemptResult{vals: vals, worker: worker}
+	}
+	f1, fN, ok := exec.Fns(name)
+	if f1 != nil && nOut == 1 {
+		v, err := f1(resolved)
+		if err != nil {
+			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: 1}
+		}
+		return attemptResult{val: v}
+	}
+	var vals []any
+	var err error
+	switch {
+	case !ok:
+		err = fmt.Errorf("exec function %q is not registered", name)
+	case fN == nil:
+		err = fmt.Errorf("exec function %q has 1 output, %d declared", name, nOut)
+	default:
+		vals, err = fN(resolved)
+		if err == nil && len(vals) != nOut {
+			err = fmt.Errorf("exec function %q returned %d values, declared %d", name, len(vals), nOut)
+		}
+	}
+	if err != nil {
+		return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: 1}
+	}
+	return attemptResult{vals: vals}
 }
 
 // fallbackValues validates a declared fallback against the task's output

@@ -1,0 +1,56 @@
+// Package compss is a task-based workflow runtime in the style of PyCOMPSs,
+// the programming model the paper builds on: plain functions become
+// asynchronous tasks, data dependencies between tasks are detected
+// automatically from their arguments, and the runtime executes the resulting
+// DAG in parallel.
+//
+// # Programming model
+//
+// A task is submitted with Submit (from the main program) or TaskCtx.Submit
+// (from inside another task — "nesting", the PyCOMPSs feature the paper uses
+// to overlap the CNN folds in Figure 10). Any argument that is a *Future, or
+// a []*Future, marks a dependency on the producing task; the runtime resolves
+// it to the produced value before the task body runs:
+//
+//	a := rt.Submit(compss.Opts{Name: "load", Cost: 1}, loadFn)
+//	b := rt.Submit(compss.Opts{Name: "fit", Cost: 5}, fitFn, a) // waits for a
+//	model, err := rt.Get(b)                                     // synchronises
+//
+// Get is a synchronisation: besides blocking the caller, it raises the
+// calling context's *sync floor* — tasks submitted afterwards cannot, in
+// virtual time, start before the synchronised value reached the master.
+// This reproduces the behaviour the paper describes for Figure 9, where each
+// epoch's weight synchronisation "stops the generation of tasks". Nested
+// contexts have their own local floor, so a Get inside a nested task does
+// not delay sibling tasks — the Figure 10 improvement.
+//
+// # Execution and time
+//
+// Tasks really run, on a goroutine pool of Config.Workers slots, so model
+// outputs are genuine. Virtual time is handled elsewhere: every submission
+// is recorded in a graph.Graph (with its analytic cost and resource demand)
+// that internal/cluster replays against a virtual cluster description.
+//
+// Where a body runs is pluggable: SubmitExec / SubmitExecN submit *named*
+// registered functions (internal/exec) instead of closures, and
+// Config.Backend routes those attempts either in-process (nil backend) or
+// to out-of-process workers (exec.Remote). Closure tasks always run
+// in-process.
+//
+// # Failure, observation
+//
+// Attempts that error or panic become TaskErrors and feed the retry /
+// deadline / degraded-mode machinery selected by Config.OnTaskFailure;
+// FaultPlan injects failures deterministically for tests. Config.Observers
+// receive the full ordered event stream (Submit ≤ DepsReady ≤ Start ≤
+// End/Failure/Retry/Degrade) that internal/trace renders as Chrome traces.
+//
+// # Concurrency and ownership
+//
+// Runtime methods are safe for concurrent use from the main program and
+// from task bodies. A Future's value is owned by the runtime; bodies
+// receive resolved arguments they must treat as shared and immutable unless
+// the submit site guarantees exclusive ownership (see dsarray.ReduceInPlace
+// for the one sanctioned exception). Observer callbacks run on runtime
+// goroutines and must not block.
+package compss

@@ -118,6 +118,11 @@ type Event struct {
 	// Final marks a Failure event as the task's terminal outcome: the retry
 	// budget is spent and no fallback stands in.
 	Final bool
+	// Worker identifies the execution-backend worker that ran the attempt
+	// (End and Failure events of Opts.Exec tasks dispatched through a
+	// remote Backend); "" for in-process execution. Trace exporters use it
+	// to put remote attempts on per-worker lanes.
+	Worker string
 }
 
 // Observer receives lifecycle events. Implementations must be safe for
@@ -151,21 +156,22 @@ func (rt *Runtime) emit(kind EventKind, st *taskState, attempt int, err error, m
 	if rt.obs.Load() == nil {
 		return // zero-observer fast path: no Event is built
 	}
-	rt.emitAt(kind, st, attempt, time.Now(), err, mode, final)
+	rt.emitAt(kind, st, attempt, time.Now(), err, mode, final, "")
 }
 
 // emitAt dispatches one event with an explicit timestamp to every attached
 // observer, in attachment order. Callers use it when the event's instant was
 // captured before bookkeeping that should not be charged to it (e.g. End is
 // stamped when the body returned, not after the nested-children wait).
-func (rt *Runtime) emitAt(kind EventKind, st *taskState, attempt int, at time.Time, err error, mode string, final bool) {
+// worker labels attempts a remote backend executed ("" in-process).
+func (rt *Runtime) emitAt(kind EventKind, st *taskState, attempt int, at time.Time, err error, mode string, final bool, worker string) {
 	obs := rt.obs.Load()
 	if obs == nil {
 		return
 	}
 	ev := Event{
 		Kind: kind, Task: st.id, Name: st.name, Attempt: attempt,
-		Time: at, Err: err, Mode: mode, Final: final,
+		Time: at, Err: err, Mode: mode, Final: final, Worker: worker,
 	}
 	for _, o := range *obs {
 		switch kind {

@@ -1,10 +1,3 @@
-// Package core is the paper's application: distributed machine-learning
-// workflows for atrial-fibrillation detection from single-lead ECG
-// (§III). It wires the substrates together — synthetic ECG generation and
-// augmentation (internal/ecg), zero-padding + STFT features
-// (internal/sigproc), distributed PCA (internal/preproc), and the four
-// classifiers (internal/svm, internal/knn, internal/forest, internal/eddl) —
-// into the exact experiment pipelines of the paper's evaluation (§IV).
 package core
 
 import (

@@ -7,6 +7,7 @@ import (
 	"taskml/internal/compss"
 	"taskml/internal/dsarray"
 	"taskml/internal/eddl"
+	"taskml/internal/exec"
 	"taskml/internal/forest"
 	"taskml/internal/knn"
 	"taskml/internal/mat"
@@ -78,6 +79,11 @@ type PipelineConfig struct {
 	// tools' -trace flag. Pipelines that build several runtimes (PCA
 	// reduction + per-model training) attach the same observers to each.
 	Observers []compss.Observer
+	// Backend is the execution backend for registered task bodies
+	// (compss.Config.Backend): nil runs them in-process; an exec.Remote —
+	// the cmd tools' -backend=remote — ships them to worker processes. The
+	// caller owns the backend and closes it after the pipeline finishes.
+	Backend exec.Backend
 }
 
 // runtimeConfig assembles the compss configuration for this pipeline,
@@ -90,6 +96,7 @@ func (c PipelineConfig) runtimeConfig() compss.Config {
 		DefaultBackoff: c.RetryBackoff,
 		Faults:         c.Faults,
 		Observers:      c.Observers,
+		Backend:        c.Backend,
 	}
 }
 

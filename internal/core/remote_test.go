@@ -1,0 +1,134 @@
+package core
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"taskml/internal/exec"
+)
+
+// TestMain lets the coordinator side of the remote tests re-exec this test
+// binary as loopback worker processes (see exec.SpawnLoopback): when spawned
+// with TASKML_EXEC_WORKER set, the process serves the library's registered
+// task functions instead of running the tests.
+func TestMain(m *testing.M) {
+	exec.MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+// TestRemoteParityBitIdentical is the acceptance test of the out-of-process
+// backend: the full RF cross-validation (PCA included) over two real worker
+// processes must produce a confusion matrix and fold accuracies
+// bit-identical to the in-process run. Registered bodies are argument-pure
+// and results freshly allocated, so gob-copying every argument across a
+// socket must not change a single bit.
+func TestRemoteParityBitIdentical(t *testing.T) {
+	ds, err := BuildDataset(smallData(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunCV(ModelRF, ds, fastCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend, err := exec.SpawnLoopback(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	cfg := fastCfg(21)
+	cfg.Backend = backend
+	remote, err := RunCV(ModelRF, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st := backend.Stats(); st.Dispatched == 0 {
+		t.Fatal("no task was dispatched to the workers — the backend was not used")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
+				t.Fatalf("confusion[%d][%d]: local %d, remote %d — remote execution changed the result",
+					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+			}
+		}
+	}
+	if len(local.FoldAccuracies) != len(remote.FoldAccuracies) {
+		t.Fatalf("fold counts differ: %d vs %d", len(local.FoldAccuracies), len(remote.FoldAccuracies))
+	}
+	for i := range local.FoldAccuracies {
+		if local.FoldAccuracies[i] != remote.FoldAccuracies[i] {
+			t.Fatalf("fold %d accuracy: local %x, remote %x (not bit-identical)",
+				i, local.FoldAccuracies[i], remote.FoldAccuracies[i])
+		}
+	}
+	if local.PCAK != remote.PCAK {
+		t.Fatalf("PCA k: local %d, remote %d", local.PCAK, remote.PCAK)
+	}
+}
+
+// TestRemoteSurvivesWorkerKill composes the backend with the PR 2 failure
+// machinery: a worker process is SIGKILLed mid-run, its lost attempts come
+// back as TaskErrors, and the retry layer re-dispatches them onto the
+// survivor — the run completes with the same confusion matrix as the
+// in-process baseline.
+func TestRemoteSurvivesWorkerKill(t *testing.T) {
+	ds, err := BuildDataset(smallData(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunCV(ModelRF, ds, fastCfg(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend, err := exec.SpawnLoopback(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	cfg := fastCfg(22)
+	cfg.Backend = backend
+	cfg.Retries = 3
+	cfg.RetryBackoff = 1
+
+	// Kill one worker once the run is demonstrably using the fleet. The
+	// victim may or may not have an attempt in flight at that instant;
+	// either way every subsequent dispatch must land on the survivor.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if backend.Stats().Dispatched >= 5 {
+				_ = backend.KillWorker(0)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	remote, err := RunCV(ModelRF, ds, cfg)
+	if err != nil {
+		t.Fatalf("run must survive the worker kill: %v", err)
+	}
+	if n := backend.AliveWorkers(); n != 1 {
+		t.Fatalf("AliveWorkers = %d after kill, want 1", n)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
+				t.Fatalf("confusion[%d][%d]: local %d, post-kill remote %d — recovery changed the result",
+					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+			}
+		}
+	}
+}

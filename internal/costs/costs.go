@@ -1,11 +1,3 @@
-// Package costs is the single calibration point for the virtual-time model.
-//
-// Every task submitted to internal/compss carries an analytic cost in
-// *reference-core seconds*; internal/cluster divides by node speed and adds
-// interconnect transfers. The functions here convert the operation counts of
-// the library's kernels into those seconds. One constant, RefFlops, anchors
-// the whole model; EXPERIMENTS.md documents how the resulting magnitudes
-// compare with the paper's testbed (a MareNostrum4 Xeon 8160 core).
 package costs
 
 // RefFlops is the sustained double-precision throughput assumed for one

@@ -1,0 +1,16 @@
+// Package costs is the single calibration point for the virtual-time model.
+//
+// Every task submitted to internal/compss carries an analytic cost in
+// *reference-core seconds*; internal/cluster divides by node speed and adds
+// interconnect transfers. The functions here convert the operation counts of
+// the library's kernels into those seconds. One constant, RefFlops, anchors
+// the whole model; EXPERIMENTS.md documents how the resulting magnitudes
+// compare with the paper's testbed (a MareNostrum4 Xeon 8160 core).
+//
+// # Public surface and concurrency
+//
+// Pure functions (Sec, Gemm, Eigh, Copy, IO, Bytes, ...) from operation
+// shapes to seconds and bytes, anchored by the RefFlops and MasterIOBps
+// constants. Everything is stateless and safe for unrestricted concurrent
+// use.
+package costs

@@ -1,9 +1,3 @@
-// Package dsarray implements the distributed array at the heart of dislib
-// (the "ds-array" of the paper's §II-B): a 2-D dataset partitioned into
-// blocks, where every block is a future produced by a task on the
-// internal/compss runtime. Estimators build their training workflows out of
-// per-block tasks, so the runtime discovers the parallelism automatically —
-// exactly the dislib/PyCOMPSs division of labour the paper describes.
 package dsarray
 
 import (
@@ -126,16 +120,11 @@ func (a *Array) RowBlock(i int) *compss.Future {
 		return a.blocks[i][0]
 	}
 	r0, r1 := a.rowRange(i)
-	f := a.tc.Submit(compss.Opts{
+	f := a.tc.SubmitExec(compss.Opts{
 		Name:     "row_block",
+		Exec:     "row_block",
 		Cost:     costs.Copy(r1-r0, a.cols),
 		OutBytes: costs.Bytes(r1-r0, a.cols),
-	}, func(_ *compss.TaskCtx, args []any) (any, error) {
-		parts := make([]*mat.Dense, 0, len(args))
-		for _, v := range args[0].([]any) {
-			parts = append(parts, v.(*mat.Dense))
-		}
-		return mat.HStack(parts...), nil
 	}, a.blocks[i])
 	a.rowBlockCache[i] = f
 	return f
@@ -190,22 +179,18 @@ func (a *Array) ColSums() *compss.Future {
 		for j := range a.blocks[i] {
 			r0, r1 := a.rowRange(i)
 			c0, c1 := a.colRange(j)
-			jj := j
-			partials = append(partials, a.tc.Submit(compss.Opts{
+			partials = append(partials, a.tc.SubmitExec(compss.Opts{
 				Name:     "col_sum",
+				Exec:     "col_sum",
 				Cost:     costs.Copy(r1-r0, c1-c0),
 				OutBytes: costs.Bytes(1, a.cols),
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				blk := args[0].(*mat.Dense)
-				full := mat.New(1, a.cols)
-				sums := mat.ColSums(blk)
-				copy(full.Row(0)[jj*a.bcols:jj*a.bcols+len(sums)], sums)
-				return full, nil
-			}, a.blocks[i][j]))
+			}, a.blocks[i][j], j*a.bcols, a.cols))
 		}
 	}
-	return Reduce(a.tc, "sum_merge", partials, costs.Copy(1, a.cols), costs.Bytes(1, a.cols),
-		func(x, y *mat.Dense) *mat.Dense { return mat.Add(x, y) })
+	return ReduceTree(a.tc, ReduceOpts{
+		Name: "sum_merge", Exec: "mat_add",
+		Cost: costs.Copy(1, a.cols), OutBytes: costs.Bytes(1, a.cols),
+	}, partials, nil)
 }
 
 // Gram computes xᵀx as a future of a cols×cols matrix: one partial Gram
@@ -217,17 +202,17 @@ func (a *Array) Gram() *compss.Future {
 	for i := 0; i < a.NumRowBlocks(); i++ {
 		rb := a.RowBlock(i)
 		h := a.RowBlockRows(i)
-		partials[i] = a.tc.Submit(compss.Opts{
+		partials[i] = a.tc.SubmitExec(compss.Opts{
 			Name:     "partial_gram",
+			Exec:     "partial_gram",
 			Cost:     costs.Gemm(a.cols, h, a.cols),
 			OutBytes: costs.Bytes(a.cols, a.cols),
-		}, func(_ *compss.TaskCtx, args []any) (any, error) {
-			blk := args[0].(*mat.Dense)
-			return mat.MulAtB(blk, blk), nil
 		}, rb)
 	}
-	return Reduce(a.tc, "gram_merge", partials, costs.Copy(a.cols, a.cols), costs.Bytes(a.cols, a.cols),
-		func(x, y *mat.Dense) *mat.Dense { return mat.Add(x, y) })
+	return ReduceTree(a.tc, ReduceOpts{
+		Name: "gram_merge", Exec: "mat_add",
+		Cost: costs.Copy(a.cols, a.cols), OutBytes: costs.Bytes(a.cols, a.cols),
+	}, partials, nil)
 }
 
 // SubRowVec subtracts a (future) 1×cols row vector from every row of every
@@ -239,18 +224,12 @@ func (a *Array) SubRowVec(v *compss.Future) *Array {
 		for j := range a.blocks[i] {
 			r0, r1 := a.rowRange(i)
 			c0, c1 := a.colRange(j)
-			jj := j
-			out[i][j] = a.tc.Submit(compss.Opts{
+			out[i][j] = a.tc.SubmitExec(compss.Opts{
 				Name:     "center_block",
+				Exec:     "center_block",
 				Cost:     costs.Copy(r1-r0, c1-c0),
 				OutBytes: costs.Bytes(r1-r0, c1-c0),
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				blk := args[0].(*mat.Dense).Clone()
-				vec := args[1].(*mat.Dense)
-				off := jj * a.bcols
-				mat.SubRowVec(blk, vec.Row(0)[off:off+blk.Cols])
-				return blk, nil
-			}, a.blocks[i][j], v)
+			}, a.blocks[i][j], v, j*a.bcols)
 		}
 	}
 	return FromBlocks(a.tc, out, a.rows, a.cols, a.brows, a.bcols)
@@ -265,17 +244,11 @@ func (a *Array) MulDense(w *compss.Future, outCols int) *Array {
 	for i := 0; i < nrb; i++ {
 		rb := a.RowBlock(i)
 		h := a.RowBlockRows(i)
-		out[i] = []*compss.Future{a.tc.Submit(compss.Opts{
+		out[i] = []*compss.Future{a.tc.SubmitExec(compss.Opts{
 			Name:     "transform_block",
+			Exec:     "transform_block",
 			Cost:     costs.Gemm(h, a.cols, outCols),
 			OutBytes: costs.Bytes(h, outCols),
-		}, func(_ *compss.TaskCtx, args []any) (any, error) {
-			blk := args[0].(*mat.Dense)
-			wm := args[1].(*mat.Dense)
-			if wm.Rows != blk.Cols {
-				return nil, fmt.Errorf("dsarray: transform shape mismatch %dx%d · %dx%d", blk.Rows, blk.Cols, wm.Rows, wm.Cols)
-			}
-			return mat.Mul(blk, wm), nil
 		}, rb, w)}
 	}
 	return FromBlocks(a.tc, out, a.rows, outCols, a.brows, outCols)
@@ -285,6 +258,12 @@ func (a *Array) MulDense(w *compss.Future, outCols int) *Array {
 type ReduceOpts struct {
 	// Name labels the merge tasks in the captured graph.
 	Name string
+	// Exec, when non-empty, names a registered backend function (see
+	// internal/exec) used as the merge body instead of the closure passed to
+	// ReduceTree — merges of an Exec reduction can run on worker processes
+	// when the runtime has a remote backend. The function must be binary:
+	// merge(x, y) with both arguments *mat.Dense.
+	Exec string
 	// Cost and OutBytes describe each merge task.
 	Cost     float64
 	OutBytes int64
@@ -304,14 +283,33 @@ func Reduce(tc *compss.TaskCtx, name string, futs []*compss.Future, mergeCost fl
 }
 
 // ReduceTree is Reduce with full per-merge options, including a degraded-
-// mode fallback.
+// mode fallback. When o.Exec names a registered merge, f is unused (pass
+// nil) and the merges dispatch through the runtime's execution backend.
 func ReduceTree(tc *compss.TaskCtx, o ReduceOpts, futs []*compss.Future, f func(x, y *mat.Dense) *mat.Dense) *compss.Future {
 	if len(futs) == 0 {
 		panic("dsarray: Reduce of zero futures")
 	}
+	if o.Exec == "" && f == nil {
+		panic("dsarray: ReduceTree needs a merge function or ReduceOpts.Exec")
+	}
 	var fb any
 	if o.Fallback != nil {
 		fb = o.Fallback
+	}
+	merge := func(x, y *compss.Future) *compss.Future {
+		opts := compss.Opts{
+			Name:     o.Name,
+			Exec:     o.Exec,
+			Cost:     o.Cost,
+			OutBytes: o.OutBytes,
+			Fallback: fb,
+		}
+		if o.Exec != "" {
+			return tc.SubmitExec(opts, x, y)
+		}
+		return tc.Submit(opts, func(_ *compss.TaskCtx, args []any) (any, error) {
+			return f(args[0].(*mat.Dense), args[1].(*mat.Dense)), nil
+		}, x, y)
 	}
 	level := futs
 	for len(level) > 1 {
@@ -321,14 +319,7 @@ func ReduceTree(tc *compss.TaskCtx, o ReduceOpts, futs []*compss.Future, f func(
 				next = append(next, level[i])
 				continue
 			}
-			next = append(next, tc.Submit(compss.Opts{
-				Name:     o.Name,
-				Cost:     o.Cost,
-				OutBytes: o.OutBytes,
-				Fallback: fb,
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				return f(args[0].(*mat.Dense), args[1].(*mat.Dense)), nil
-			}, level[i], level[i+1]))
+			next = append(next, merge(level[i], level[i+1]))
 		}
 		level = next
 	}

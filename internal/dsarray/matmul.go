@@ -5,7 +5,6 @@ import (
 
 	"taskml/internal/compss"
 	"taskml/internal/costs"
-	"taskml/internal/mat"
 )
 
 // MatMul computes the distributed matrix product a·b as a new Array with
@@ -40,26 +39,20 @@ func MatMul(a, b *Array) (*Array, error) {
 			for k := 0; k < kb; k++ {
 				k0, k1 := a.colRange(k)
 				depth := k1 - k0
-				partials[k] = tc.Submit(compss.Opts{
+				partials[k] = tc.SubmitExec(compss.Opts{
 					Name:     "gemm_block",
+					Exec:     "gemm_block",
 					Cost:     costs.Gemm(h, depth, w),
 					OutBytes: costs.Bytes(h, w),
-				}, func(_ *compss.TaskCtx, args []any) (any, error) {
-					x := args[0].(*mat.Dense)
-					y := args[1].(*mat.Dense)
-					if x.Cols != y.Rows {
-						return nil, fmt.Errorf("dsarray: block product %dx%d · %dx%d", x.Rows, x.Cols, y.Rows, y.Cols)
-					}
-					// Fresh output block: the reduction below merges
-					// partials in place, so each must be exclusively owned
-					// and never alias an input block.
-					p := mat.New(x.Rows, y.Cols)
-					mat.MulAdd(p, x, y)
-					return p, nil
 				}, a.Block(i, k), b.Block(k, j))
 			}
-			out[i][j] = ReduceInPlace(tc, "gemm_add", partials, costs.Copy(h, w), costs.Bytes(h, w),
-				func(dst, src *mat.Dense) { mat.AddInPlace(dst, src) })
+			// mat_add_to merges in place: each partial is a fresh gemm_block
+			// output exclusively owned by this reduction (the ReduceInPlace
+			// ownership contract), saving one block allocation per merge.
+			out[i][j] = ReduceTree(tc, ReduceOpts{
+				Name: "gemm_add", Exec: "mat_add_to",
+				Cost: costs.Copy(h, w), OutBytes: costs.Bytes(h, w),
+			}, partials, nil)
 		}
 	}
 	return FromBlocks(tc, out, a.Rows(), b.Cols(), a.BlockRows(), b.BlockCols()), nil
@@ -78,12 +71,11 @@ func (a *Array) Transpose() *Array {
 		r0, r1 := a.rowRange(i)
 		for j := 0; j < ncb; j++ {
 			c0, c1 := a.colRange(j)
-			out[j][i] = tc.Submit(compss.Opts{
+			out[j][i] = tc.SubmitExec(compss.Opts{
 				Name:     "transpose_block",
+				Exec:     "transpose_block",
 				Cost:     costs.Copy(r1-r0, c1-c0),
 				OutBytes: costs.Bytes(c1-c0, r1-r0),
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				return args[0].(*mat.Dense).T(), nil
 			}, a.Block(i, j))
 		}
 	}

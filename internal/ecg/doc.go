@@ -1,0 +1,22 @@
+// Package ecg provides the data substrate of the paper: single-lead
+// electrocardiogram recordings, R-peak segmentation, and the
+// shuffling-based data augmentation of Figure 2.
+//
+// The PhysioNet CinC-2017 dataset the paper trains on is not
+// redistributable, so the package generates synthetic recordings whose
+// class-conditional structure follows the clinical features the paper
+// itself lists (§II): Normal rhythm has regular RR intervals and a visible
+// P wave before each QRS complex; atrial fibrillation (AF) has
+// irregularly-irregular RR intervals, an absent P wave, and a fibrillatory
+// baseline oscillation (f-waves, 4–9 Hz). Recordings are sampled at 300 Hz
+// and last 9–61 s, matching the CinC recordings donated by AliveCor.
+//
+// # Public surface and concurrency
+//
+// NewGenerator produces labelled recordings from a GenConfig; DetectRPeaks
+// and RRIntervals implement the R-peak analysis; AugmentShuffle and Balance
+// implement the shuffling augmentation of Figure 2. Generation is
+// deterministic in the seeds the caller supplies. A *Generator holds its
+// own RNG and is not safe for concurrent use; the free functions are
+// stateless and are, and returned recordings are owned by the caller.
+package ecg

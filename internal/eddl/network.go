@@ -1,14 +1,3 @@
-// Package eddl is the deep-learning substrate of the paper's §III-D: a
-// small neural-network library in the role of EDDL (the European
-// Distributed Deep Learning library), plus the PyCOMPSs-distributed
-// data-parallel trainer of Figures 9 (plain) and 10 (nested).
-//
-// The network architecture the paper converged on — "two 1-dimensional
-// convolutional layers with 32 filters and a final dense layer with 32
-// neurons" — is available through NewCNN. Training is plain mini-batch SGD
-// on softmax cross-entropy; data parallelism retrieves the weights of every
-// worker after each epoch, merges (averages) them, and seeds the next epoch,
-// exactly the synchronisation pattern whose cost the paper analyses.
 package eddl
 
 import (

@@ -1,0 +1,22 @@
+// Package edge implements the inference half of the paper's Figure 1: the
+// trained AF-detection model "is then deployed and used for inference at
+// the edge" — a wearable device classifies the incoming ECG stream in
+// sliding windows and raises an alarm when an AF episode is detected. The
+// paper leaves this part as future work; this package builds it as a
+// streaming monitor with debounced alarms and detection-latency
+// measurement on synthetic paroxysmal episodes.
+//
+// # Public surface
+//
+// NewMonitor wires a Featurizer and a Classifier behind a sliding-window
+// Config; Push feeds samples and returns the events raised so far. Run is
+// the one-shot convenience over a full signal; DetectionLatency scores an
+// alarm against a known episode onset.
+//
+// # Concurrency and ownership
+//
+// A Monitor is a single-stream state machine: one goroutine pushes samples,
+// events are returned (not delivered asynchronously), and the injected
+// Featurizer/Classifier are called synchronously from Push. Use one Monitor
+// per stream; distinct Monitors are independent.
+package edge

@@ -1,10 +1,3 @@
-// Package edge implements the inference half of the paper's Figure 1: the
-// trained AF-detection model "is then deployed and used for inference at
-// the edge" — a wearable device classifies the incoming ECG stream in
-// sliding windows and raises an alarm when an AF episode is detected. The
-// paper leaves this part as future work; this package builds it as a
-// streaming monitor with debounced alarms and detection-latency
-// measurement on synthetic paroxysmal episodes.
 package edge
 
 import (

@@ -1,0 +1,35 @@
+package exec
+
+// Backend executes Opts.Exec-named task attempts on behalf of the compss
+// runtime. Exactly one attempt maps to exactly one Execute call: the
+// runtime's retry/deadline/fault machinery sits *above* the backend, so a
+// backend failure (worker crash, dropped connection, unknown function) is
+// just an attempt error — it surfaces as a compss.TaskError and is retried,
+// degraded or finalised by the same policies as any in-process failure.
+type Backend interface {
+	// Execute runs the registered function name with the resolved args and
+	// returns its nOut outputs. worker identifies the executing worker for
+	// observability ("" when the body ran in-process); it is advisory and
+	// carries no routing semantics.
+	Execute(name string, nOut int, args []any) (vals []any, worker string, err error)
+	// Close releases the backend's resources (connections, spawned loopback
+	// processes). The backend must not be used after Close.
+	Close() error
+}
+
+// Local is the in-process Backend: Execute is a registry call on the
+// caller's goroutine, with no serialization and no new allocations beyond
+// the body's own. A nil compss.Config.Backend has identical semantics — the
+// runtime special-cases it to skip even the interface dispatch — so Local
+// exists for code that wants an explicit Backend value (tests, parity
+// harnesses).
+type Local struct{}
+
+// Execute runs the named body in-process.
+func (Local) Execute(name string, nOut int, args []any) ([]any, string, error) {
+	vals, err := Invoke(name, nOut, args)
+	return vals, "", err
+}
+
+// Close is a no-op.
+func (Local) Close() error { return nil }

@@ -1,0 +1,34 @@
+// Package exec is the pluggable execution layer under the internal/compss
+// runtime: it decides *where* a task body runs. The paper's stack separates
+// the programming model (PyCOMPSs) from execution on cluster workers; this
+// package is that seam. A nil compss.Config.Backend executes bodies
+// in-process (the default, and the fast path); a *Remote ships them to
+// worker processes over gob-on-TCP, dislib-style — one coordinator, N
+// workers, serialized arguments and results.
+//
+// # Public surface
+//
+//   - Register / RegisterN / RegisterType build the process-global registry
+//     of named, argument-pure task bodies ("rf_bootstrap", "mat_add", ...);
+//     Has / Names / Fns / Invoke query and run it.
+//   - Backend is the two-method seam (Execute, Close); Local adapts the
+//     registry to it.
+//   - Dial / SpawnLoopback construct a *Remote coordinator; Serve and
+//     MaybeWorkerMain are the worker side; cmd/worker wraps Serve in a
+//     standalone binary. OpenBackend is the shared -backend/-peers flag
+//     logic of the cmd tools.
+//
+// # Concurrency and ownership
+//
+// The registry is write-at-init, read-only afterwards (Register panics on
+// duplicates so collisions surface at program start). Remote is safe for
+// concurrent Execute calls: each worker connection is multiplexed by
+// request ID, writes are serialised per connection, and a per-worker slot
+// count bounds in-flight bodies, composing with compss.Config.Workers
+// (effective parallelism = min(Workers, Σ alive slots)). Arguments and
+// results cross the wire as gob copies, so registered bodies must be
+// argument-pure — no captured state, results freshly allocated — which is
+// exactly what makes local and remote execution bit-identical. A worker
+// crash fails the in-flight attempts with an error (never the whole
+// process); the compss retry machinery decides what happens next.
+package exec

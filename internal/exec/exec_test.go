@@ -1,0 +1,365 @@
+package exec_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskml/internal/exec"
+	"taskml/internal/mat"
+)
+
+// TestMain makes the test binary spawnable as a loopback worker: when the
+// coordinator side of a test re-execs it with TASKML_EXEC_WORKER set,
+// MaybeWorkerMain serves the functions registered below instead of running
+// the tests again.
+func TestMain(m *testing.M) {
+	exec.MaybeWorkerMain()
+	os.Exit(m.Run())
+}
+
+// Test task vocabulary. Registered from init so the re-exec'd worker child
+// (which runs this same init) carries the identical name table.
+func init() {
+	exec.Register("test_add", func(args []any) (any, error) {
+		return args[0].(float64) + args[1].(float64), nil
+	})
+	exec.Register("test_pid", func(args []any) (any, error) {
+		return os.Getpid(), nil
+	})
+	exec.Register("test_scale_mat", func(args []any) (any, error) {
+		return mat.Scale(args[1].(float64), args[0].(*mat.Dense)), nil
+	})
+	exec.RegisterN("test_split", func(args []any) ([]any, error) {
+		xs := args[0].([]float64)
+		var lo, hi []float64
+		for _, x := range xs {
+			if x < args[1].(float64) {
+				lo = append(lo, x)
+			} else {
+				hi = append(hi, x)
+			}
+		}
+		return []any{lo, hi}, nil
+	})
+	exec.Register("test_err", func(args []any) (any, error) {
+		return nil, fmt.Errorf("deliberate failure: %v", args[0])
+	})
+	exec.Register("test_panic", func(args []any) (any, error) {
+		panic("deliberate panic")
+	})
+	exec.Register("test_sleep_ms", func(args []any) (any, error) {
+		time.Sleep(time.Duration(args[0].(int)) * time.Millisecond)
+		return args[0], nil
+	})
+}
+
+func TestRegistry(t *testing.T) {
+	if !exec.Has("test_add") || exec.Has("no_such_function") {
+		t.Fatalf("Has: wrong answers for test_add / no_such_function")
+	}
+	names := exec.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+
+	vals, err := exec.Invoke("test_add", 1, []any{1.5, 2.25})
+	if err != nil || len(vals) != 1 || vals[0].(float64) != 3.75 {
+		t.Fatalf("Invoke(test_add) = %v, %v", vals, err)
+	}
+	if _, err := exec.Invoke("no_such_function", 1, nil); err == nil {
+		t.Fatal("Invoke of an unregistered name should error")
+	}
+	if _, err := exec.Invoke("test_add", 2, []any{1.0, 2.0}); err == nil {
+		t.Fatal("Invoke with wrong nOut should error")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	exec.Register("test_add", func([]any) (any, error) { return nil, nil })
+}
+
+func TestLocalBackend(t *testing.T) {
+	var l exec.Local
+	vals, worker, err := l.Execute("test_add", 1, []any{2.0, 3.0})
+	if err != nil || vals[0].(float64) != 5 {
+		t.Fatalf("Local.Execute = %v, %v", vals, err)
+	}
+	if worker != "" {
+		t.Fatalf("Local worker id = %q, want empty (in-process)", worker)
+	}
+	if _, _, err := l.Execute("no_such_function", 1, nil); err == nil {
+		t.Fatal("Local.Execute of an unregistered name should error")
+	}
+}
+
+// TestLoopbackRoundtrip covers the whole wire path against real worker
+// processes: scalars, matrices (bit-exact), multi-output, worker-side
+// errors, and panic containment.
+func TestLoopbackRoundtrip(t *testing.T) {
+	r, err := exec.SpawnLoopback(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if n := r.AliveWorkers(); n != 2 {
+		t.Fatalf("AliveWorkers = %d, want 2", n)
+	}
+
+	// Execution really happens out of process.
+	vals, worker, err := r.Execute("test_pid", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := vals[0].(int)
+	if pid == os.Getpid() {
+		t.Fatalf("test_pid ran in the coordinator process (pid %d)", pid)
+	}
+	found := false
+	for _, w := range r.Workers() {
+		if w.ID == worker {
+			found = true
+			if w.Pid != pid {
+				t.Fatalf("worker %s handshake pid %d, body saw %d", worker, w.Pid, pid)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Execute reported unknown worker id %q", worker)
+	}
+
+	// Matrices round-trip bit-exactly.
+	m := mat.New(3, 4)
+	for i := range m.Data {
+		m.Data[i] = 0.1 * float64(i+1) // values without exact binary representation
+	}
+	vals, _, err = r.Execute("test_scale_mat", 1, []any{m, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vals[0].(*mat.Dense)
+	want := mat.Scale(2.0, m)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Data[%d] = %x, want %x (not bit-identical)", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// Multi-output.
+	vals, _, err = r.Execute("test_split", 2, []any{[]float64{1, 5, 2, 8}, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo := vals[0].([]float64); len(lo) != 2 || lo[0] != 1 || lo[1] != 2 {
+		t.Fatalf("test_split lo = %v", lo)
+	}
+
+	// Worker-side errors come back as errors, not dead connections.
+	if _, _, err := r.Execute("test_err", 1, []any{"x"}); err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("worker error not propagated: %v", err)
+	}
+	if _, _, err := r.Execute("test_panic", 1, nil); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("worker panic not contained: %v", err)
+	}
+	if n := r.AliveWorkers(); n != 2 {
+		t.Fatalf("AliveWorkers after error+panic = %d, want 2 (failures must not kill workers)", n)
+	}
+	if _, _, err := r.Execute("test_add", 1, []any{1.0, 1.0}); err != nil {
+		t.Fatalf("worker unusable after panic: %v", err)
+	}
+
+	st := r.Stats()
+	if st.Dispatched == 0 || st.Completed != st.Dispatched || st.Failed != 0 {
+		t.Fatalf("Stats = %+v, want dispatched == completed, no failures", st)
+	}
+}
+
+// TestSlotAccounting checks that a single 2-slot worker runs at most two
+// bodies at once and that the coordinator blocks (rather than erroring)
+// when saturated.
+func TestSlotAccounting(t *testing.T) {
+	r, err := exec.SpawnLoopback(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const calls = 6
+	var wg sync.WaitGroup
+	var inflight, peak atomic.Int64
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// inflight is sampled around the blocking Execute; the worker's
+			// semaphore bounds true concurrency, this bounds observed peak.
+			if _, _, err := r.Execute("test_sleep_ms", 1, []any{30}); err != nil {
+				t.Errorf("Execute: %v", err)
+				return
+			}
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			inflight.Add(-1)
+		}()
+	}
+	wg.Wait()
+	for _, w := range r.Workers() {
+		if w.Inflight != 0 {
+			t.Fatalf("worker %s still has %d inflight after drain", w.ID, w.Inflight)
+		}
+	}
+	if st := r.Stats(); st.Dispatched != calls || st.Completed != calls {
+		t.Fatalf("Stats = %+v, want %d dispatched and completed", st, calls)
+	}
+}
+
+// TestKillWorker: killing a worker mid-flight fails the in-flight attempt
+// (the runtime's retry layer owns what happens next), retires the worker,
+// and leaves the survivors serving.
+func TestKillWorker(t *testing.T) {
+	r, err := exec.SpawnLoopback(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Saturate both workers with slow bodies, then kill worker 0. Exactly
+	// one of the two calls must fail with a connection error.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, _, err := r.Execute("test_sleep_ms", 1, []any{2000})
+			errs <- err
+		}()
+	}
+	waitFor(t, time.Second, func() bool {
+		inflight := 0
+		for _, w := range r.Workers() {
+			inflight += w.Inflight
+		}
+		return inflight == 2
+	})
+	if err := r.KillWorker(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var failed int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				failed++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Execute did not return after worker kill")
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d of 2 in-flight calls failed after killing one worker, want exactly 1", failed)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.AliveWorkers() == 1 })
+	if st := r.Stats(); st.Failed == 0 {
+		t.Fatalf("Stats = %+v, want Failed > 0 after a lost dispatch", st)
+	}
+
+	// The survivor keeps serving.
+	vals, worker, err := r.Execute("test_add", 1, []any{20.0, 22.0})
+	if err != nil || vals[0].(float64) != 42 {
+		t.Fatalf("survivor Execute = %v, %v", vals, err)
+	}
+	if worker != "w1" {
+		t.Fatalf("dispatch landed on %q, want the survivor w1", worker)
+	}
+
+	// Killing the survivor too leaves no capacity: Execute must error, not
+	// hang — the runtime turns this into task failure / degraded mode.
+	if err := r.KillWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return r.AliveWorkers() == 0 })
+	if _, _, err := r.Execute("test_add", 1, []any{1.0, 1.0}); err == nil {
+		t.Fatal("Execute with no alive workers should error")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := exec.Dial(exec.RemoteConfig{}); err == nil {
+		t.Fatal("Dial with no peers should error")
+	}
+	if _, err := exec.Dial(exec.RemoteConfig{
+		Peers:       []string{"127.0.0.1:1"}, // reserved port, nothing listens
+		DialTimeout: 500 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("Dial to a dead address should error")
+	}
+}
+
+func TestOpenBackend(t *testing.T) {
+	b, err := exec.OpenBackend("local", "", 2, 1)
+	if err != nil || b != nil {
+		t.Fatalf("OpenBackend(local) = %v, %v; want nil backend (in-process execution)", b, err)
+	}
+	if _, err := exec.OpenBackend("bogus", "", 2, 1); err == nil {
+		t.Fatal("OpenBackend with an unknown mode should error")
+	}
+	r, err := exec.OpenBackend("remote", "", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, _, err := r.Execute("test_add", 1, []any{1.0, 2.0}); err != nil {
+		t.Fatalf("loopback backend from OpenBackend: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// BenchmarkRemoteRoundtrip measures one gob round-trip to a loopback worker
+// carrying a small matrix block — the per-task wire overhead a remote
+// deployment pays over in-process dispatch.
+func BenchmarkRemoteRoundtrip(b *testing.B) {
+	r, err := exec.SpawnLoopback(1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	m := mat.New(32, 32)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	b.SetBytes(int64(8 * len(m.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Execute("test_scale_mat", 1, []any{m, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpenBackend interprets the cmd-line backend selection shared by the cmd
+// tools (-backend / -peers flags):
+//
+//	mode "local" (or "")  → nil: the runtime executes everything in-process.
+//	mode "remote", peers  → Dial the comma-separated worker addresses.
+//	mode "remote", no peers → SpawnLoopback(loopbackWorkers, slots): the tool
+//	    re-execs itself as worker processes on 127.0.0.1.
+//
+// The caller owns the returned backend (Close it after Barrier); a nil
+// Backend needs no Close.
+func OpenBackend(mode, peers string, loopbackWorkers, slots int) (Backend, error) {
+	switch mode {
+	case "", "local":
+		return nil, nil
+	case "remote":
+		if peers != "" {
+			var addrs []string
+			for _, a := range strings.Split(peers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			return Dial(RemoteConfig{Peers: addrs})
+		}
+		if loopbackWorkers < 1 {
+			loopbackWorkers = 2
+		}
+		return SpawnLoopback(loopbackWorkers, slots)
+	default:
+		return nil, fmt.Errorf("exec: unknown backend %q (want local or remote)", mode)
+	}
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	osexec "os/exec"
+	"strings"
+	"time"
+)
+
+// SpawnLoopback starts n copies of the current binary as worker processes
+// on 127.0.0.1 (each with the given slot count), dials them, and returns
+// the connected coordinator. It is the zero-setup distributed mode behind
+// `-backend=remote` without `-peers`: real processes, real sockets, real
+// serialization — only the network is loopback.
+//
+// The children are re-execs of os.Executable() with TASKML_EXEC_WORKER set,
+// so they carry exactly the same registered-function table as the
+// coordinator (see MaybeWorkerMain, which every spawnable binary calls
+// first thing in main). Close kills and reaps them.
+func SpawnLoopback(n, slots int) (*Remote, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exec: SpawnLoopback needs at least 1 worker")
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("exec: resolving own binary: %w", err)
+	}
+
+	procs := make([]*os.Process, 0, n)
+	peers := make([]string, 0, n)
+	kill := func() {
+		for _, p := range procs {
+			_ = p.Kill()
+			_, _ = p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := osexec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			workerEnvListen+"=127.0.0.1:0",
+			fmt.Sprintf("%s=%d", workerEnvSlots, slots),
+		)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			kill()
+			return nil, fmt.Errorf("exec: worker %d stdout: %w", i, err)
+		}
+		if err := cmd.Start(); err != nil {
+			kill()
+			return nil, fmt.Errorf("exec: spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd.Process)
+		addr, err := readReadyLine(stdout, 10*time.Second)
+		if err != nil {
+			kill()
+			return nil, fmt.Errorf("exec: worker %d (pid %d) did not come up: %w", i, cmd.Process.Pid, err)
+		}
+		peers = append(peers, addr)
+		// Keep draining the child's stdout so it can never block on a full
+		// pipe; everything after the ready line is informational.
+		go func() { _, _ = io.Copy(io.Discard, stdout) }()
+	}
+
+	r, err := Dial(RemoteConfig{Peers: peers})
+	if err != nil {
+		kill()
+		return nil, err
+	}
+	r.mu.Lock()
+	r.procs = procs
+	r.mu.Unlock()
+	return r, nil
+}
+
+// readReadyLine waits for the worker's TASKML_WORKER_LISTENING line and
+// returns the address it bound. The deadline guards against a child that
+// exits or hangs before binding.
+func readReadyLine(stdout io.Reader, timeout time.Duration) (string, error) {
+	type result struct {
+		addr string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, workerReadyPrefix) {
+				ch <- result{addr: strings.TrimSpace(strings.TrimPrefix(line, workerReadyPrefix))}
+				return
+			}
+		}
+		err := sc.Err()
+		if err == nil {
+			err = fmt.Errorf("stdout closed before ready line")
+		}
+		ch <- result{err: err}
+	}()
+	select {
+	case res := <-ch:
+		return res.addr, res.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out after %v waiting for ready line", timeout)
+	}
+}

@@ -1,0 +1,358 @@
+package exec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteConfig configures Dial.
+type RemoteConfig struct {
+	// Peers are the worker addresses (host:port) to dial.
+	Peers []string
+	// DialTimeout bounds each dial + handshake. Default 5s.
+	DialTimeout time.Duration
+}
+
+// Remote is the coordinator side of the out-of-process backend: it holds
+// one multiplexed gob-over-TCP connection per worker and dispatches Execute
+// calls onto them.
+//
+// # Slot accounting
+//
+// Every worker advertises a slot count in its handshake (how many task
+// bodies it runs concurrently). Execute picks the least-loaded alive worker
+// with a free slot and blocks while every alive worker is saturated, so the
+// in-flight request count per worker never exceeds its slots. This composes
+// with compss.Config.Workers, which bounds the number of attempts the
+// runtime has in flight at all: effective remote parallelism is
+// min(Config.Workers, Σ alive worker slots), and a coordinator-side block
+// here holds a runtime worker slot — exactly as a busy in-process body
+// would.
+//
+// # Failure
+//
+// A connection error (worker crash, network drop) marks the worker dead,
+// fails its in-flight requests, and excludes it from further dispatch; the
+// remaining workers absorb re-dispatched retries. Remote never fails a
+// *task* — it fails attempts, and the runtime's OnTaskFailure policy
+// decides what that means.
+type Remote struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*workerConn
+	closed  bool
+
+	nextID                        atomic.Uint64
+	dispatched, completed, failed atomic.Uint64
+
+	procs []*os.Process // loopback-spawned workers, reaped on Close
+}
+
+// workerConn is one dialed worker. Scheduling state (alive, inflight) is
+// guarded by the owning Remote's mutex; the pending map has its own lock
+// because the reader goroutine touches it without the scheduler lock.
+type workerConn struct {
+	id    string
+	addr  string
+	pid   int
+	slots int
+
+	conn   net.Conn
+	sendMu sync.Mutex // serialises writes to enc
+	enc    *gob.Encoder
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan response
+
+	alive    bool
+	inflight int
+	deadErr  error
+}
+
+// WorkerInfo is a point-in-time description of one dialed worker.
+type WorkerInfo struct {
+	ID       string
+	Addr     string
+	Pid      int
+	Slots    int
+	Alive    bool
+	Inflight int
+}
+
+// RemoteStats counts dispatch outcomes across the backend's lifetime.
+type RemoteStats struct {
+	// Dispatched counts requests written to a worker connection.
+	Dispatched uint64
+	// Completed counts responses received, including worker-side errors.
+	Completed uint64
+	// Failed counts dispatches lost to connection failure (the attempt saw
+	// an error and the runtime decides whether to retry).
+	Failed uint64
+}
+
+// Dial connects to every peer, performs the handshake, and returns the
+// coordinator. It fails if any peer is unreachable or speaks the wrong
+// protocol — a partially-connected start would silently shrink the cluster.
+func Dial(cfg RemoteConfig) (*Remote, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("exec: Dial needs at least one peer")
+	}
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	r := &Remote{}
+	r.cond = sync.NewCond(&r.mu)
+	for i, addr := range cfg.Peers {
+		w, err := dialWorker(fmt.Sprintf("w%d", i), addr, timeout)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.workers = append(r.workers, w)
+		go r.readLoop(w)
+	}
+	return r, nil
+}
+
+func dialWorker(id, addr string, timeout time.Duration) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("exec: dialing worker %s at %s: %w", id, addr, err)
+	}
+	var h hello
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("exec: handshake with worker %s at %s: %w", id, addr, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	if h.Proto != protoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("exec: worker %s at %s speaks protocol %d, want %d", id, addr, h.Proto, protoVersion)
+	}
+	slots := h.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	return &workerConn{
+		id: id, addr: addr, pid: h.Pid, slots: slots,
+		conn: conn, enc: gob.NewEncoder(conn),
+		pending: map[uint64]chan response{},
+		alive:   true,
+	}, nil
+}
+
+// readLoop drains one worker's responses. The decoder owns the connection's
+// read side; any decode error means the stream is unusable (crash, kill,
+// network drop) and the worker is retired.
+func (r *Remote) readLoop(w *workerConn) {
+	dec := gob.NewDecoder(w.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			r.failWorker(w, fmt.Errorf("connection lost: %w", err))
+			return
+		}
+		w.pendMu.Lock()
+		ch := w.pending[resp.ID]
+		delete(w.pending, resp.ID)
+		w.pendMu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// failWorker retires w: no further dispatches land on it and every pending
+// request fails with a connection error (which the runtime treats as an
+// attempt failure and may retry elsewhere).
+func (r *Remote) failWorker(w *workerConn, err error) {
+	r.mu.Lock()
+	if !w.alive {
+		r.mu.Unlock()
+		return
+	}
+	w.alive = false
+	w.deadErr = err
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	w.conn.Close()
+
+	w.pendMu.Lock()
+	drained := w.pending
+	w.pending = map[uint64]chan response{}
+	w.pendMu.Unlock()
+	for _, ch := range drained {
+		r.failed.Add(1)
+		ch <- response{Err: fmt.Sprintf("worker %s (%s): %v", w.id, w.addr, err)}
+	}
+}
+
+// acquire blocks until an alive worker has a free slot and reserves one on
+// the least-loaded such worker. It errors once no worker is alive.
+func (r *Remote) acquire() (*workerConn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, fmt.Errorf("exec: backend is closed")
+		}
+		var best *workerConn
+		anyAlive := false
+		for _, w := range r.workers {
+			if !w.alive {
+				continue
+			}
+			anyAlive = true
+			if w.inflight >= w.slots {
+				continue
+			}
+			if best == nil || w.inflight < best.inflight {
+				best = w
+			}
+		}
+		if !anyAlive {
+			return nil, fmt.Errorf("exec: no alive workers")
+		}
+		if best != nil {
+			best.inflight++
+			return best, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+func (r *Remote) release(w *workerConn) {
+	r.mu.Lock()
+	w.inflight--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// Execute ships one attempt to a worker: reserve a slot, gob the request
+// out, await the multiplexed response. The returned worker id labels the
+// attempt in traces.
+func (r *Remote) Execute(name string, nOut int, args []any) ([]any, string, error) {
+	w, err := r.acquire()
+	if err != nil {
+		return nil, "", err
+	}
+	defer r.release(w)
+
+	id := r.nextID.Add(1)
+	ch := make(chan response, 1)
+	w.pendMu.Lock()
+	w.pending[id] = ch
+	w.pendMu.Unlock()
+
+	w.sendMu.Lock()
+	err = w.enc.Encode(&request{ID: id, Name: name, NOut: nOut, Args: args})
+	w.sendMu.Unlock()
+	if err != nil {
+		// A gob encode error corrupts the stream state either way; retire
+		// the connection. failWorker completes ch for us if the request
+		// registered before the failure drained the map.
+		r.failWorker(w, fmt.Errorf("sending %s: %w", name, err))
+		w.pendMu.Lock()
+		delete(w.pending, id)
+		w.pendMu.Unlock()
+		return nil, w.id, fmt.Errorf("exec: worker %s (%s): sending %s: %w", w.id, w.addr, name, err)
+	}
+	r.dispatched.Add(1)
+
+	resp := <-ch
+	r.completed.Add(1)
+	if resp.Err != "" {
+		return nil, w.id, fmt.Errorf("exec: %s: %s", name, resp.Err)
+	}
+	if len(resp.Vals) != nOut {
+		return nil, w.id, fmt.Errorf("exec: worker %s returned %d values for %s, want %d", w.id, len(resp.Vals), name, nOut)
+	}
+	return resp.Vals, w.id, nil
+}
+
+// Workers returns a snapshot of the dialed workers.
+func (r *Remote) Workers() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = WorkerInfo{
+			ID: w.id, Addr: w.addr, Pid: w.pid, Slots: w.slots,
+			Alive: w.alive, Inflight: w.inflight,
+		}
+	}
+	return out
+}
+
+// AliveWorkers returns the number of workers still accepting dispatches.
+func (r *Remote) AliveWorkers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative dispatch counters.
+func (r *Remote) Stats() RemoteStats {
+	return RemoteStats{
+		Dispatched: r.dispatched.Load(),
+		Completed:  r.completed.Load(),
+		Failed:     r.failed.Load(),
+	}
+}
+
+// KillWorker forcibly terminates loopback worker i (SIGKILL) — the
+// fault-injection hook for crash-recovery tests. The death is observed the
+// same way a real crash would be: the connection drops, in-flight attempts
+// fail, and the worker is retired. It errors for workers Remote did not
+// spawn (it has no authority over processes it only dialed).
+func (r *Remote) KillWorker(i int) error {
+	r.mu.Lock()
+	var proc *os.Process
+	if i >= 0 && i < len(r.procs) {
+		proc = r.procs[i]
+	}
+	r.mu.Unlock()
+	if proc == nil {
+		return fmt.Errorf("exec: worker %d was not spawned by this coordinator", i)
+	}
+	return proc.Kill()
+}
+
+// Close retires every worker, fails pending requests, and reaps loopback
+// processes.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	workers := append([]*workerConn(nil), r.workers...)
+	procs := append([]*os.Process(nil), r.procs...)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	for _, w := range workers {
+		r.failWorker(w, fmt.Errorf("backend closed"))
+	}
+	for _, p := range procs {
+		if p != nil {
+			_ = p.Kill()
+			_, _ = p.Wait()
+		}
+	}
+	return nil
+}

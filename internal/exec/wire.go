@@ -1,0 +1,48 @@
+package exec
+
+// The wire format: length-free gob streams over one TCP connection per
+// worker, multiplexed by request ID.
+//
+// On accept the worker sends a single hello frame advertising its protocol
+// version and slot count; the coordinator then writes request frames and
+// reads response frames, in any interleaving — the worker executes requests
+// concurrently (bounded by its slots) and responses return in completion
+// order, not request order. Both directions reuse one long-lived gob
+// encoder/decoder pair, so concrete-type descriptors cross the wire once
+// per connection, not once per task.
+//
+// Values inside Args/Vals travel as gob interface values: every concrete
+// type must be registered on both ends (see RegisterType), which holds by
+// construction when coordinator and worker run the same binary or link the
+// same packages. Payloads are freshly allocated by gob on decode — a wire
+// hop never aliases pooled scratch, satisfying the mat.Pool ownership
+// contract (DESIGN.md "Memory model") by construction.
+
+// protoVersion guards against dialing a worker built from an incompatible
+// checkout; the coordinator rejects a mismatched hello instead of
+// mis-decoding task payloads.
+const protoVersion = 1
+
+// hello is the worker → coordinator handshake frame.
+type hello struct {
+	Proto int // protocol version; must equal protoVersion
+	Pid   int // worker process id (diagnostics, trace labels)
+	Slots int // concurrent task bodies the worker will run
+}
+
+// request is one coordinator → worker task dispatch.
+type request struct {
+	ID   uint64 // multiplexing key, unique per connection
+	Name string // registered function name
+	NOut int    // declared output arity (validated worker-side)
+	Args []any  // resolved arguments; concrete types must be registered
+}
+
+// response is the worker's reply to one request. Err is a string — error
+// values do not gob — and is re-wrapped by the coordinator; the task-level
+// typed error (compss.TaskError) is applied by the runtime on top.
+type response struct {
+	ID   uint64
+	Vals []any
+	Err  string
+}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+
+	"taskml/internal/par"
+)
+
+// WorkerConfig configures Serve.
+type WorkerConfig struct {
+	// Slots is how many task bodies run concurrently. Default 1 — the
+	// dislib-like configuration of one serial body per worker process, with
+	// parallelism coming from many workers.
+	Slots int
+	// Log receives human-readable progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Serve runs the worker loop on an accepted listener until the listener
+// closes: accept coordinator connections, send the handshake, execute
+// registered functions, reply. Each connection is independent (a worker can
+// serve several coordinators); within a connection requests run
+// concurrently, bounded by Slots.
+//
+// The worker caps the kernel layer at par.SetLimit(1): its parallelism
+// budget is Slots concurrent *bodies*, matching the contract the runtime's
+// in-process pool follows (DESIGN.md, "The kernel layer").
+func Serve(l net.Listener, cfg WorkerConfig) error {
+	slots := cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	par.SetLimit(1)
+	fmt.Fprintf(logw, "worker: pid %d serving %d registered functions on %s (%d slots)\n",
+		os.Getpid(), len(Names()), l.Addr(), slots)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, slots, logw)
+	}
+}
+
+func serveConn(conn net.Conn, slots int, logw io.Writer) {
+	defer conn.Close()
+	var sendMu sync.Mutex
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots}); err != nil {
+		fmt.Fprintf(logw, "worker: handshake: %v\n", err)
+		return
+	}
+	sem := make(chan struct{}, slots)
+	dec := gob.NewDecoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				fmt.Fprintf(logw, "worker: connection closed: %v\n", err)
+			}
+			return
+		}
+		sem <- struct{}{}
+		go func(req request) {
+			defer func() { <-sem }()
+			resp := handle(req)
+			sendMu.Lock()
+			err := enc.Encode(&resp)
+			sendMu.Unlock()
+			if err != nil {
+				fmt.Fprintf(logw, "worker: replying to %s (req %d): %v\n", req.Name, req.ID, err)
+			}
+		}(req)
+	}
+}
+
+// handle executes one request with panic containment: a panicking body
+// fails its request, not the worker process, mirroring the in-process
+// runtime's panic→error conversion.
+func handle(req request) (resp response) {
+	resp.ID = req.ID
+	defer func() {
+		if r := recover(); r != nil {
+			resp.Vals = nil
+			resp.Err = fmt.Sprintf("%s: panic: %v", req.Name, r)
+		}
+	}()
+	vals, err := Invoke(req.Name, req.NOut, req.Args)
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Vals = vals
+	return resp
+}
+
+// Env vars of the loopback re-exec protocol (see SpawnLoopback): when
+// workerEnvListen is set, MaybeWorkerMain turns the current process into a
+// worker instead of running its normal main.
+const (
+	workerEnvListen = "TASKML_EXEC_WORKER"
+	workerEnvSlots  = "TASKML_EXEC_SLOTS"
+	// workerReadyPrefix is the machine-readable first stdout line carrying
+	// the bound address back to the spawning coordinator.
+	workerReadyPrefix = "TASKML_WORKER_LISTENING "
+)
+
+// MaybeWorkerMain is the loopback re-exec hook: binaries that can act as
+// loopback workers (the cmd tools, test binaries via TestMain) call it
+// first thing. When TASKML_EXEC_WORKER is unset it returns immediately;
+// when set, the process binds that address, prints the bound address on
+// stdout for the spawning coordinator, serves registered functions until
+// killed, and never returns.
+func MaybeWorkerMain() {
+	addr := os.Getenv(workerEnvListen)
+	if addr == "" {
+		return
+	}
+	slots := 1
+	if s := os.Getenv(workerEnvSlots); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			slots = n
+		}
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker: listen %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", workerReadyPrefix, l.Addr())
+	err = Serve(l, WorkerConfig{Slots: slots, Log: os.Stderr})
+	fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+	os.Exit(1)
+}

@@ -44,20 +44,21 @@ func (p Params) withDefaults() Params {
 // ErrNotFitted is returned by prediction before Fit.
 var ErrNotFitted = errors.New("forest: model is not fitted")
 
-// trainSet is the gathered dataset shipped to the tree tasks. The paper
+// TrainSet is the gathered dataset shipped to the tree tasks. The paper
 // observes that RF "is the only algorithm in dislib in which the number of
 // blocks and their size does not have a direct impact on the computational
 // time and number of tasks created": the workflow gathers the row blocks
 // once and the task count depends only on NEstimators and DistrDepth.
-type trainSet struct {
-	x *mat.Dense
-	y []int
+// Fields are exported so the value gob-serialises to worker processes.
+type TrainSet struct {
+	X *mat.Dense
+	Y []int
 }
 
-// splitOut is a distr-depth split task's output.
-type splitOut struct {
-	leaf  *Node // non-nil when the node terminated (pure/small)
-	split Split
+// SplitOut is a distr-depth split task's output.
+type SplitOut struct {
+	Leaf  *Node // non-nil when the node terminated (pure/small)
+	Split Split
 }
 
 // RandomForest is the distributed random-forest classifier.
@@ -68,30 +69,20 @@ type RandomForest struct {
 	dims  int
 }
 
-// gather concatenates x's row blocks and labels into a single trainSet
+// gather concatenates x's row blocks and labels into a single TrainSet
 // future (the reduction at the top of Figure 8's workflow).
 func gather(x, y *dsarray.Array) *compss.Future {
 	tc := x.Ctx()
-	args := make([]any, 0, 2*x.NumRowBlocks())
 	var futs []*compss.Future
 	for i := 0; i < x.NumRowBlocks(); i++ {
 		futs = append(futs, x.RowBlock(i), y.RowBlock(i))
 	}
-	args = append(args, futs)
-	return tc.Submit(compss.Opts{
+	return tc.SubmitExec(compss.Opts{
 		Name:     "rf_gather",
+		Exec:     "rf_gather",
 		Cost:     costs.Copy(x.Rows(), x.Cols()+1),
 		OutBytes: costs.Bytes(x.Rows(), x.Cols()+1),
-	}, func(_ *compss.TaskCtx, resolved []any) (any, error) {
-		vals := resolved[0].([]any)
-		var xs []*mat.Dense
-		var labels []int
-		for i := 0; i < len(vals); i += 2 {
-			xs = append(xs, vals[i].(*mat.Dense))
-			labels = append(labels, dsarray.LabelsToInts(vals[i+1].(*mat.Dense))...)
-		}
-		return &trainSet{x: mat.VStack(xs...), y: labels}, nil
-	}, args...)
+	}, futs)
 }
 
 // Fit builds the forest workflow: a gather task, then per estimator a
@@ -117,19 +108,12 @@ func (f *RandomForest) Fit(x, y *dsarray.Array) error {
 	for e := 0; e < p.NEstimators; e++ {
 		seed := p.Seed + int64(e)*7919
 		// Bootstrap sample of row indices.
-		boot := tc.Submit(compss.Opts{
+		boot := tc.SubmitExec(compss.Opts{
 			Name:     "rf_bootstrap",
+			Exec:     "rf_bootstrap",
 			Cost:     costs.Copy(n, 1),
 			OutBytes: int64(n * 8),
-		}, func(_ *compss.TaskCtx, args []any) (any, error) {
-			rng := rand.New(rand.NewSource(seed))
-			ts := args[0].(*trainSet)
-			idx := make([]int, len(ts.y))
-			for i := range idx {
-				idx[i] = rng.Intn(len(ts.y))
-			}
-			return idx, nil
-		}, data)
+		}, data, seed)
 		f.trees[e] = f.buildDistr(tc, data, boot, seed, 0, n, p)
 	}
 	return nil
@@ -142,40 +126,26 @@ func (f *RandomForest) buildDistr(tc *compss.TaskCtx, data, idx *compss.Future, 
 	tp := p.Tree.withDefaults()
 	d := f.dims
 	if depth >= p.DistrDepth {
-		// One task builds the whole remaining subtree.
-		return tc.Submit(compss.Opts{
+		// One task builds the whole remaining subtree; the TreeParams it
+		// ships carry MaxDepth rebased to the remaining depth.
+		sub := tp
+		sub.MaxDepth = tp.MaxDepth - depth
+		return tc.SubmitExec(compss.Opts{
 			Name:     "rf_subtree",
+			Exec:     "rf_subtree",
 			Cost:     costs.TreeFit(estN, d, tp.MaxDepth-depth),
 			OutBytes: 4096,
-		}, func(_ *compss.TaskCtx, args []any) (any, error) {
-			ts := args[0].(*trainSet)
-			rows := args[1].([]int)
-			rng := rand.New(rand.NewSource(seed + int64(depth)*104729))
-			sub := tp
-			sub.MaxDepth = tp.MaxDepth - depth
-			return BuildTree(ts.x, ts.y, rows, p.NClasses, sub, rng), nil
-		}, data, idx)
+		}, data, idx, seed+int64(depth)*104729, sub, p.NClasses)
 	}
 
 	// Split task: one best-split decision computed in parallel with the
 	// rest of the level.
-	outs := tc.SubmitN(compss.Opts{
+	outs := tc.SubmitExecN(compss.Opts{
 		Name:     "rf_split",
+		Exec:     "rf_split",
 		Cost:     costs.TreeFit(estN, d, 1),
 		OutBytes: int64(estN * 8),
-	}, 3, func(_ *compss.TaskCtx, args []any) ([]any, error) {
-		ts := args[0].(*trainSet)
-		rows := args[1].([]int)
-		rng := rand.New(rand.NewSource(seed + int64(depth)*104729))
-		if len(rows) < tp.MinSamplesSplit {
-			return []any{&splitOut{leaf: leafNode(ts.y, rows, p.NClasses)}, []int{}, []int{}}, nil
-		}
-		sp := BestSplit(ts.x, ts.y, rows, p.NClasses, tp, rng)
-		if !sp.Found || len(sp.Left) == 0 || len(sp.Right) == 0 {
-			return []any{&splitOut{leaf: leafNode(ts.y, rows, p.NClasses)}, []int{}, []int{}}, nil
-		}
-		return []any{&splitOut{split: sp}, sp.Left, sp.Right}, nil
-	}, data, idx)
+	}, 3, data, idx, seed+int64(depth)*104729, tp, p.NClasses)
 
 	// Cost estimates for the children model the data-dependent split
 	// imbalance of real CART trees: splits are rarely even, so subtree
@@ -188,21 +158,11 @@ func (f *RandomForest) buildDistr(tc *compss.TaskCtx, data, idx *compss.Future, 
 	left := f.buildDistr(tc, data, outs[1], seed*31+1, depth+1, int(frac*float64(estN))+1, p)
 	right := f.buildDistr(tc, data, outs[2], seed*31+2, depth+1, int((1-frac)*float64(estN))+1, p)
 
-	return tc.Submit(compss.Opts{
+	return tc.SubmitExec(compss.Opts{
 		Name:     "rf_join",
+		Exec:     "rf_join",
 		Cost:     0,
 		OutBytes: 4096,
-	}, func(_ *compss.TaskCtx, args []any) (any, error) {
-		so := args[0].(*splitOut)
-		if so.leaf != nil {
-			return so.leaf, nil
-		}
-		return &Node{
-			Feature:   so.split.Feature,
-			Threshold: so.split.Threshold,
-			Left:      args[1].(*Node),
-			Right:     args[2].(*Node),
-		}, nil
 	}, outs[0], left, right)
 }
 
@@ -238,37 +198,12 @@ func (f *RandomForest) Predict(x *dsarray.Array) (*dsarray.Array, error) {
 	blocks := make([][]*compss.Future, nrb)
 	for i := 0; i < nrb; i++ {
 		rows := x.RowBlockRows(i)
-		blocks[i] = []*compss.Future{tc.Submit(compss.Opts{
+		blocks[i] = []*compss.Future{tc.SubmitExec(compss.Opts{
 			Name:     "rf_predict",
+			Exec:     "rf_predict",
 			Cost:     costs.TreePredict(rows, p.Tree.withDefaults().MaxDepth) * float64(p.NEstimators),
 			OutBytes: costs.Bytes(rows, 1),
-		}, func(_ *compss.TaskCtx, args []any) (any, error) {
-			blk := args[0].(*mat.Dense)
-			trees := make([]*Node, 0, len(args[1].([]any)))
-			for _, v := range args[1].([]any) {
-				trees = append(trees, v.(*Node))
-			}
-			out := mat.New(blk.Rows, 1)
-			probs := make([]float64, p.NClasses)
-			for r := 0; r < blk.Rows; r++ {
-				for c := range probs {
-					probs[c] = 0
-				}
-				for _, t := range trees {
-					for c, pr := range t.PredictProbs(blk.Row(r)) {
-						probs[c] += pr
-					}
-				}
-				best := 0
-				for c, pr := range probs {
-					if pr > probs[best] {
-						best = c
-					}
-				}
-				out.Set(r, 0, float64(best))
-			}
-			return out, nil
-		}, x.RowBlock(i), f.trees)}
+		}, x.RowBlock(i), f.trees, p.NClasses)}
 	}
 	return dsarray.FromBlocks(tc, blocks, x.Rows(), 1, x.BlockRows(), 1), nil
 }

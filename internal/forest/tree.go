@@ -1,9 +1,3 @@
-// Package forest implements the RandomForest estimator of the paper's
-// §III-C.3: an ensemble of CART decision trees whose final prediction
-// averages the per-tree class probability distributions (Figure 7), with
-// the dislib parallelisation scheme — "its parallelism is based on the
-// number of estimators and the parameter distr_depth (limit of the depth of
-// the tree where the decisions are no longer computed in parallel)".
 package forest
 
 import (

@@ -1,14 +1,3 @@
-// Package graph holds the task dependency graph captured while a workflow
-// executes on the internal/compss runtime.
-//
-// The graph is the bridge between the programming model and the performance
-// model: internal/compss appends one node per submitted task (in program
-// order, with data dependencies, nesting parentage and resource demands) and
-// internal/cluster replays the captured graph against a virtual cluster
-// description to obtain the schedule the paper's figures are derived from.
-// A single captured graph can be replayed on any number of cluster
-// configurations, which is how the core-count sweeps of Figures 11a-c and 12
-// are produced from one workflow run.
 package graph
 
 import (

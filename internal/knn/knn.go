@@ -1,8 +1,3 @@
-// Package knn implements the k-nearest-neighbors estimator of the paper's
-// §III-C.2 on top of ds-arrays: "The fit function uses the NearestNeighbors
-// algorithm in dislib that has parallelism based on the number of row
-// blocks ... The predict also makes a task per block in the row axis of the
-// dataset."
 package knn
 
 import (

@@ -1,16 +1,3 @@
-// Package mat provides the dense linear-algebra kernels the rest of the
-// library is built on: a row-major dense matrix type, GEMM, transposed
-// products, and a symmetric eigendecomposition (the replacement for
-// numpy.linalg.eigh used by the PCA covariance method in the paper).
-//
-// The hot kernels (Mul, MulAtB, MulABt, MulVec, the Jacobi rotations of
-// EigSym) are cache-blocked and row-band parallel on the bounded
-// internal/par pool, sharing the unrolled Dot/Axpy micro-kernels in
-// kernels.go. Kernel parallelism composes with the task-level parallelism
-// of internal/compss through par.SetLimit — see the par package comment for
-// the oversubscription contract. At par.SetLimit(1) every kernel runs
-// serially on its caller, mirroring how dislib runs serial NumPy kernels
-// inside PyCOMPSs tasks.
 package mat
 
 import (

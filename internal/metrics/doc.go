@@ -1,0 +1,18 @@
+// Package metrics provides the evaluation machinery of the paper's §IV:
+// confusion matrices in the normalized layout of Table I, accuracy,
+// precision/recall/F1 (the paper's discussion of precision-focus vs
+// recall-focus for stroke care), and the stratified K-fold splitter behind
+// every experiment's 5-fold cross-validation.
+//
+// # Public surface
+//
+// Confusion (NewConfusion, Add/AddAll, Merge, Accuracy/Precision/Recall/F1,
+// Table I-style rendering), the Accuracy convenience over label slices, and
+// the KFold / StratifiedKFold splitters (deterministic in their seed).
+//
+// # Concurrency and ownership
+//
+// A Confusion is a plain counter object: not safe for concurrent Add;
+// the cross-validation merges per-fold matrices with Merge on the master
+// instead of sharing one. Fold splits are value slices owned by the caller.
+package metrics

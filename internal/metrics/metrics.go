@@ -1,8 +1,3 @@
-// Package metrics provides the evaluation machinery of the paper's §IV:
-// confusion matrices in the normalized layout of Table I, accuracy,
-// precision/recall/F1 (the paper's discussion of precision-focus vs
-// recall-focus for stroke care), and the stratified K-fold splitter behind
-// every experiment's 5-fold cross-validation.
 package metrics
 
 import (

@@ -1,32 +1,3 @@
-// Package par is the shared intra-task parallelism layer under the numeric
-// kernels (internal/mat, internal/sigproc, internal/knn): a bounded global
-// helper pool behind two primitives, For (chunked parallel loops) and Do
-// (parallel thunks).
-//
-// # The oversubscription contract
-//
-// Kernel parallelism must compose with the task-level parallelism of
-// internal/compss: a runtime with Config.Workers = W runs W task bodies
-// concurrently, and if every body ran a kernel on its own GOMAXPROCS-wide
-// pool the machine would execute W×P runnable goroutines. par bounds the
-// *sum* instead:
-//
-//   - SetLimit(L) caps the kernel layer at L concurrently running
-//     goroutines in total, across every For/Do in the process. L-1 helper
-//     tokens live in one global pool; each parallel region additionally
-//     runs on its calling goroutine.
-//   - Token acquisition never blocks. A kernel that finds the pool drained
-//     simply runs its chunks on the caller — so a wide top-level caller
-//     (a CLI building features on the master) and many task bodies can
-//     share one limit without deadlock or oversubscription: total kernel
-//     concurrency ≤ callers + L - 1.
-//
-// The conventions, then: top-level single-stream programs (cmd/*, feature
-// extraction on the master) leave the default limit (GOMAXPROCS) so one
-// kernel call uses the whole machine; programs about to drive a wide
-// compss.Runtime drop the kernel layer to SetLimit(1) so the task pool owns
-// the cores. SetLimit(1) makes every For/Do run serially on its caller,
-// with no goroutine or channel traffic on the hot path.
 package par
 
 import (

@@ -1,13 +1,8 @@
-// Package preproc implements the dislib preprocessing estimators the paper
-// uses: StandardScaler (the extra step of the KNN experiment, §IV-B) and
-// PCA via the covariance method (§III-B.4), both as task workflows over
-// ds-arrays with parallelism per row block.
 package preproc
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"taskml/internal/compss"
 	"taskml/internal/costs"
@@ -40,55 +35,24 @@ func (s *StandardScaler) Fit(x *dsarray.Array) {
 	partials := make([]*compss.Future, 0, x.NumRowBlocks()*x.NumColBlocks())
 	for i := 0; i < x.NumRowBlocks(); i++ {
 		for j := 0; j < x.NumColBlocks(); j++ {
-			jj := j
-			partials = append(partials, tc.Submit(compss.Opts{
+			partials = append(partials, tc.SubmitExec(compss.Opts{
 				Name:     "scaler_partial",
+				Exec:     "scaler_partial",
 				Cost:     costs.Scaler(x.BlockRows(), x.BlockCols()),
 				OutBytes: costs.Bytes(3, d),
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				blk := args[0].(*mat.Dense)
-				out := mat.New(3, d)
-				off := jj * x.BlockCols()
-				for r := 0; r < blk.Rows; r++ {
-					row := blk.Row(r)
-					for c, v := range row {
-						out.Set(0, off+c, out.At(0, off+c)+1)
-						out.Set(1, off+c, out.At(1, off+c)+v)
-						out.Set(2, off+c, out.At(2, off+c)+v*v)
-					}
-				}
-				return out, nil
-			}, x.Block(i, j)))
+			}, x.Block(i, j), j*x.BlockCols(), d))
 		}
 	}
-	merged := dsarray.Reduce(tc, "scaler_merge", partials, costs.Copy(3, d), costs.Bytes(3, d),
-		func(a, b *mat.Dense) *mat.Dense { return mat.Add(a, b) })
+	merged := dsarray.ReduceTree(tc, dsarray.ReduceOpts{
+		Name: "scaler_merge", Exec: "mat_add",
+		Cost: costs.Copy(3, d), OutBytes: costs.Bytes(3, d),
+	}, partials, nil)
 
-	s.stats = tc.Submit(compss.Opts{
+	s.stats = tc.SubmitExec(compss.Opts{
 		Name:     "scaler_finalize",
+		Exec:     "scaler_finalize",
 		Cost:     costs.Copy(2, d),
 		OutBytes: costs.Bytes(2, d),
-	}, func(_ *compss.TaskCtx, args []any) (any, error) {
-		m := args[0].(*mat.Dense)
-		out := mat.New(2, d)
-		for c := 0; c < d; c++ {
-			n := m.At(0, c)
-			if n == 0 {
-				return nil, fmt.Errorf("preproc: scaler fitted on empty column %d", c)
-			}
-			mean := m.At(1, c) / n
-			variance := m.At(2, c)/n - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
-			std := math.Sqrt(variance)
-			if std == 0 {
-				std = 1 // constant feature: scikit-learn convention
-			}
-			out.Set(0, c, mean)
-			out.Set(1, c, std)
-		}
-		return out, nil
 	}, merged)
 	s.cols = d
 }
@@ -107,23 +71,12 @@ func (s *StandardScaler) Transform(x *dsarray.Array) (*dsarray.Array, error) {
 	for i := 0; i < nrb; i++ {
 		out[i] = make([]*compss.Future, ncb)
 		for j := 0; j < ncb; j++ {
-			jj := j
-			out[i][j] = tc.Submit(compss.Opts{
+			out[i][j] = tc.SubmitExec(compss.Opts{
 				Name:     "scaler_transform",
+				Exec:     "scaler_transform",
 				Cost:     costs.Scaler(x.BlockRows(), x.BlockCols()),
 				OutBytes: costs.Bytes(x.BlockRows(), x.BlockCols()),
-			}, func(_ *compss.TaskCtx, args []any) (any, error) {
-				blk := args[0].(*mat.Dense).Clone()
-				st := args[1].(*mat.Dense)
-				off := jj * x.BlockCols()
-				for r := 0; r < blk.Rows; r++ {
-					row := blk.Row(r)
-					for c := range row {
-						row[c] = (row[c] - st.At(0, off+c)) / st.At(1, off+c)
-					}
-				}
-				return blk, nil
-			}, x.Block(i, j), s.stats)
+			}, x.Block(i, j), s.stats, j*x.BlockCols())
 		}
 	}
 	return dsarray.FromBlocks(tc, out, x.Rows(), x.Cols(), x.BlockRows(), x.BlockCols()), nil
@@ -181,37 +134,30 @@ func (p *PCA) Fit(x *dsarray.Array) error {
 
 	// Phase 1: column means.
 	sums := x.ColSums()
-	p.mean = tc.Submit(compss.Opts{
+	p.mean = tc.SubmitExec(compss.Opts{
 		Name:     "pca_mean",
+		Exec:     "pca_mean",
 		Cost:     costs.Copy(1, d),
 		OutBytes: costs.Bytes(1, d),
-	}, func(_ *compss.TaskCtx, args []any) (any, error) {
-		return mat.Scale(1/float64(x.Rows()), args[0].(*mat.Dense)), nil
-	}, sums)
+	}, sums, x.Rows())
 
 	// Phase 2: covariance of the centered data.
 	centered := x.SubRowVec(p.mean)
 	gram := centered.Gram()
-	cov := tc.Submit(compss.Opts{
+	cov := tc.SubmitExec(compss.Opts{
 		Name:     "pca_cov",
+		Exec:     "pca_cov",
 		Cost:     costs.Copy(d, d),
 		OutBytes: costs.Bytes(d, d),
-	}, func(_ *compss.TaskCtx, args []any) (any, error) {
-		return mat.Scale(1/float64(x.Rows()-1), args[0].(*mat.Dense)), nil
-	}, gram)
+	}, gram, x.Rows())
 
 	// Single eigendecomposition task (numpy.linalg.eigh in dislib).
-	eig := tc.SubmitN(compss.Opts{
+	eig := tc.SubmitExecN(compss.Opts{
 		Name:     "pca_eigh",
+		Exec:     "pca_eigh",
 		Cost:     costs.Eigh(d),
 		OutBytes: costs.Bytes(d, d),
-	}, 2, func(_ *compss.TaskCtx, args []any) ([]any, error) {
-		vals, vecs, err := mat.EigSym(args[0].(*mat.Dense))
-		if err != nil {
-			return nil, err
-		}
-		return []any{mat.NewFromData(1, len(vals), vals), vecs}, nil
-	}, cov)
+	}, 2, cov)
 
 	valsAny, err := tc.Get(eig[0])
 	if err != nil {

@@ -1,0 +1,20 @@
+// Package sigproc implements the signal-processing kernels of the paper's
+// feature-extraction pipeline (§III-B): zero-padding, window functions, a
+// radix-2 FFT, and the Short-Time Fourier Transform spectrogram that SciPy's
+// signal.spectrogram provides in the original implementation. The paper
+// flattens the spectrogram into a 1-D feature vector that feeds PCA and the
+// classifiers.
+//
+// # Public surface
+//
+// FFT / IFFT, Hann, ZeroPad, and the STFT plan machinery (PlanFor caches
+// one plan per configuration; Execute / ExecuteInto run it, the Into form
+// writing into caller-owned scratch for the allocation-free hot path).
+//
+// # Concurrency and ownership
+//
+// The free functions are pure. Plans are immutable after construction and
+// safe to share; the plan cache is lock-protected. ExecuteInto's output
+// buffer is caller-owned scratch — the bit-identity of Execute and
+// ExecuteInto is tested, so either form may be used anywhere.
+package sigproc

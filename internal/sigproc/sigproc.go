@@ -1,9 +1,3 @@
-// Package sigproc implements the signal-processing kernels of the paper's
-// feature-extraction pipeline (§III-B): zero-padding, window functions, a
-// radix-2 FFT, and the Short-Time Fourier Transform spectrogram that SciPy's
-// signal.spectrogram provides in the original implementation. The paper
-// flattens the spectrogram into a 1-D feature vector that feeds PCA and the
-// classifiers.
 package sigproc
 
 import (

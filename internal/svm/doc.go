@@ -1,0 +1,19 @@
+// Package svm implements the support-vector machinery of the paper's CSVM
+// experiment (§III-C.1): a sequential-minimal-optimization (SMO) binary SVC
+// equivalent to the scikit-learn SVC that dislib's CascadeSVM calls inside
+// each task, and the CascadeSVM estimator itself in cascade.go.
+//
+// # Public surface
+//
+// SVC (SVCParams, linear or RBF Kernel) is the in-task solver; CascadeSVM
+// (CascadeParams) is the distributed estimator, building the cascade of
+// Figure 3 — per-block fits whose support vectors merge pairwise over
+// CascadeParams.Iterations rounds.
+//
+// # Concurrency and ownership
+//
+// CascadeSVM.Fit submits tasks on the caller's compss context; each task
+// fits an independent SVC on its own data copy. A fitted SVC or CascadeSVM
+// is immutable and safe for concurrent Predict. Training is deterministic
+// in SVCParams.Seed.
+package svm

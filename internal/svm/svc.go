@@ -1,7 +1,3 @@
-// Package svm implements the support-vector machinery of the paper's CSVM
-// experiment (§III-C.1): a sequential-minimal-optimization (SMO) binary SVC
-// equivalent to the scikit-learn SVC that dislib's CascadeSVM calls inside
-// each task, and the CascadeSVM estimator itself in cascade.go.
 package svm
 
 import (

@@ -1,17 +1,3 @@
-// Package trace turns the runtime's Observer event stream (internal/compss)
-// into Chrome trace-event JSON, the format chrome://tracing and Perfetto
-// (https://ui.perfetto.dev) open directly — the same built-in-profiler idea
-// Taskflow ships for its task graphs.
-//
-// Two producers emit the format:
-//
-//   - Collector + Chrome (this package) render a *real* execution: per-lane
-//     B/E duration slices for every attempt, instant markers for retries,
-//     failures and degradations, and counter tracks for worker-pool
-//     occupancy and the ready queue;
-//   - Schedule.ChromeTrace (internal/cluster) renders a *replayed* virtual
-//     schedule into the same format, so a run and its replay open
-//     side-by-side in Perfetto.
 package trace
 
 import (

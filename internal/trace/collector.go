@@ -60,6 +60,7 @@ type attemptSlice struct {
 	start, end float64 // µs from trace origin
 	outcome    string  // "ok", or the failure mode
 	errText    string
+	worker     string // exec-backend worker id; "" for in-process attempts
 }
 
 // sortable wraps a TraceEvent with the tiebreak keys that make the emitted
@@ -72,18 +73,25 @@ type sortable struct {
 }
 
 // Chrome converts a runtime event stream into a Chrome trace. The runtime
-// does not pin tasks to worker identities (a body that blocks on a nested
-// Get releases its slot and re-acquires a possibly different one), so the
-// exporter reconstructs worker rows by greedily packing the attempt
+// does not pin in-process tasks to worker identities (a body that blocks on
+// a nested Get releases its slot and re-acquires a possibly different one),
+// so the exporter reconstructs worker rows by greedily packing the attempt
 // intervals into lanes: lane count equals the peak concurrency actually
 // observed, which is bounded by Config.Workers.
 //
+// Attempts an execution backend ran remotely (Event.Worker non-empty on the
+// closing End/Failure event) *are* pinned — the backend reports which worker
+// process executed them — so they bypass greedy packing and land on lanes
+// named after the worker id ("w0", "w1", ...), one extra lane per worker
+// only when a multi-slot worker overlaps attempts ("w0 slot 1").
+//
 // Emitted tracks, all under one process ("taskml runtime"):
 //
-//   - "worker N" rows: one B/E slice per executed attempt, failed attempts
-//     labelled "name!k" (matching the virtual-cluster Gantt convention),
-//     with instant markers for failures, retries and degradations on the
-//     lane of the attempt they refer to;
+//   - "worker N" rows: one B/E slice per executed in-process attempt,
+//     failed attempts labelled "name!k" (matching the virtual-cluster Gantt
+//     convention), with instant markers for failures, retries and
+//     degradations on the lane of the attempt they refer to;
+//   - "wN" rows: the same, for attempts executed by remote worker wN;
 //   - a "failed deps" row holding instant markers for tasks whose body
 //     never ran because a dependency failed;
 //   - counter tracks "ready" (tasks runnable but not yet started) and
@@ -142,6 +150,7 @@ func Chrome(events []compss.Event) *Trace {
 			}
 			delete(open, k)
 			s.end = tsOf[i]
+			s.worker = ev.Worker
 			if ev.Kind == compss.EventEnd {
 				s.outcome = "ok"
 			} else {
@@ -166,38 +175,76 @@ func Chrome(events []compss.Event) *Trace {
 		}
 		return a.attempt < b.attempt
 	})
-	starts := make([]float64, len(slices))
-	ends := make([]float64, len(slices))
+	// Lane assignment. In-process attempts (no worker id) are greedily
+	// packed, as before; remote attempts are grouped per worker id, each
+	// group packed on its own so a multi-slot worker's overlapping attempts
+	// still nest correctly ("w0", "w0 slot 1", ...).
+	var localIdx []int
+	remoteIdx := map[string][]int{}
+	var workerIDs []string
 	for i, s := range slices {
-		starts[i], ends[i] = s.start, s.end
+		if s.worker == "" {
+			localIdx = append(localIdx, i)
+			continue
+		}
+		if _, ok := remoteIdx[s.worker]; !ok {
+			workerIDs = append(workerIDs, s.worker)
+		}
+		remoteIdx[s.worker] = append(remoteIdx[s.worker], i)
 	}
-	lanes, nLanes := PackLanes(starts, ends)
-	laneOf := map[attemptKey]int{}
-	for i, s := range slices {
-		laneOf[s.attemptKey] = lanes[i]
-	}
+	sort.Strings(workerIDs)
 
 	const pid = 0
 	t.Add(processName(pid, "taskml runtime"))
-	for l := 0; l < nLanes; l++ {
+	laneOf := map[attemptKey]int{}
+	packInto := func(idx []int, base int) int {
+		starts := make([]float64, len(idx))
+		ends := make([]float64, len(idx))
+		for j, i := range idx {
+			starts[j], ends[j] = slices[i].start, slices[i].end
+		}
+		lanes, n := PackLanes(starts, ends)
+		for j, i := range idx {
+			laneOf[slices[i].attemptKey] = base + lanes[j]
+		}
+		return n
+	}
+	nLocal := packInto(localIdx, 0)
+	for l := 0; l < nLocal; l++ {
 		t.Add(threadName(pid, l, fmt.Sprintf("worker %d", l)))
 	}
-	depLane := nLanes // row for tasks that never ran
+	next := nLocal
+	for _, wid := range workerIDs {
+		n := packInto(remoteIdx[wid], next)
+		for l := 0; l < n; l++ {
+			name := wid
+			if l > 0 {
+				name = fmt.Sprintf("%s slot %d", wid, l)
+			}
+			t.Add(threadName(pid, next+l, name))
+		}
+		next += n
+	}
+	depLane := next // row for tasks that never ran
 	hasDepLane := false
 
 	var out []sortable
-	for i, s := range slices {
+	for _, s := range slices {
 		name := s.name
 		if s.outcome != "ok" {
 			name = fmt.Sprintf("%s!%d", s.name, s.attempt)
 		}
 		args := map[string]any{"task": s.task, "attempt": s.attempt, "outcome": s.outcome}
+		if s.worker != "" {
+			args["worker"] = s.worker
+		}
+		tid := laneOf[s.attemptKey]
 		out = append(out,
 			sortable{ord: 3, task: s.task, attempt: s.attempt, ev: TraceEvent{
-				Name: name, Cat: "task", Ph: "B", Ts: s.start, Pid: pid, Tid: lanes[i], Args: args,
+				Name: name, Cat: "task", Ph: "B", Ts: s.start, Pid: pid, Tid: tid, Args: args,
 			}},
 			sortable{ord: 0, task: s.task, attempt: s.attempt, ev: TraceEvent{
-				Name: name, Cat: "task", Ph: "E", Ts: s.end, Pid: pid, Tid: lanes[i],
+				Name: name, Cat: "task", Ph: "E", Ts: s.end, Pid: pid, Tid: tid,
 			}},
 		)
 	}

@@ -5,17 +5,19 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR4.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR5.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
 # benchmarks are cheap and run warm (BENCHTIME_MICRO, default 100x —
-# steady-state numbers are the point of the scratch arenas).
+# steady-state numbers are the point of the scratch arenas). The internal
+# sweep includes BenchmarkRemoteRoundtrip (internal/exec), the per-attempt
+# wire overhead of the out-of-process backend.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 micro=${BENCHTIME_MICRO:-100x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)

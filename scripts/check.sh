@@ -18,6 +18,17 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+# Every internal package documents its paper counterpart, public surface
+# and concurrency/ownership contract in a doc.go (DESIGN.md cross-links
+# into these). New packages must ship one.
+echo "== package docs (internal/*/doc.go)"
+for d in internal/*/; do
+    if [ ! -f "$d/doc.go" ] || ! grep -q "^// Package $(basename "$d")" "$d/doc.go"; then
+        echo "missing or malformed package doc: ${d}doc.go" >&2
+        exit 1
+    fi
+done
+
 echo "== go build ./..."
 go build ./...
 
@@ -26,16 +37,17 @@ go test -race ./...
 
 # The fault-tolerance layer retries attempts concurrently with nested
 # submission and deadline timers, the trace golden test asserts the
-# exported shape is schedule-independent, and the eddl training loop now
-# runs on pooled scratch shared across workers; run these packages twice
-# under the race detector to shake out ordering-dependent bugs a single
-# pass can miss.
-echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/..."
-go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/...
+# exported shape is schedule-independent, the eddl training loop runs on
+# pooled scratch shared across workers, and the exec backend multiplexes
+# worker connections from many dispatch goroutines; run these packages
+# twice under the race detector to shake out ordering-dependent bugs a
+# single pass can miss.
+echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/... ./internal/exec/..."
+go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/... ./internal/exec/...
 
 # Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
 # regression that re-inflates the per-task allocation count is visible in
-# every gate run (the numbers land in the log; BENCH_PR4.json via
+# every gate run (the numbers land in the log; BENCH_PR5.json via
 # scripts/bench.sh is the recorded baseline).
 echo "== go test -run=NONE -bench=Submit -benchtime=100x -benchmem ."
 go test -run=NONE -bench=Submit -benchtime=100x -benchmem .
