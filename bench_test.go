@@ -625,3 +625,40 @@ func BenchmarkSubmitTraced(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSubmitParallel measures the submit fast path the work-stealing
+// executor was built for: submissions from *inside* task bodies, which push
+// onto the submitting worker's own deque without touching any runtime-global
+// lock. Four driver bodies submit concurrently, so the per-op cost also
+// reflects cross-worker contention on the dependency and completion paths
+// (BenchmarkSubmitNoObserver, by contrast, submits externally from the main
+// goroutine — the round-robin placement path).
+func BenchmarkSubmitParallel(b *testing.B) {
+	const drivers = 4
+	rt := compss.New(compss.Config{Workers: drivers})
+	noop := func(_ *compss.TaskCtx, _ []any) (any, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	futs := make([]*compss.Future, drivers)
+	for d := range futs {
+		n := b.N / drivers
+		if d < b.N%drivers {
+			n++
+		}
+		futs[d] = rt.Submit(compss.Opts{Name: "driver"},
+			func(tc *compss.TaskCtx, _ []any) (any, error) {
+				for i := 0; i < n; i++ {
+					f := tc.Submit(compss.Opts{Name: "noop"}, noop)
+					if _, err := tc.Get(f); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			})
+	}
+	for _, f := range futs {
+		if _, err := rt.Get(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

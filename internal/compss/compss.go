@@ -128,16 +128,20 @@ type Runtime struct {
 	sem  chan struct{}
 	main *TaskCtx
 
+	// ex is the work-stealing executor (see executor.go): per-worker ready
+	// deques, the overflow injector, and the carrier/parking machinery. The
+	// task registry lives in its shards; the runtime keeps no global task
+	// list.
+	ex *executor
+
 	// obs is the copy-on-write observer list; nil when no observer is
 	// attached (the zero-cost default). statsObs is the observer behind the
 	// deprecated EnableStats/Stats compatibility surface, nil until
-	// EnableStats.
+	// EnableStats. mu guards only the observer-list swap.
 	obs      atomic.Pointer[[]Observer]
 	statsObs atomic.Pointer[StatsObserver]
 
-	mu   sync.Mutex
-	all  []*taskState
-	byID map[int]*taskState
+	mu sync.Mutex
 }
 
 // New creates a runtime.
@@ -157,6 +161,7 @@ func New(cfg Config) *Runtime {
 		cfg: cfg,
 		sem: make(chan struct{}, w),
 	}
+	rt.ex = newExecutor(rt, w)
 	if len(cfg.Observers) > 0 {
 		obs := make([]Observer, len(cfg.Observers))
 		copy(obs, cfg.Observers)
@@ -231,20 +236,89 @@ func (rt *Runtime) Barrier() error { return rt.main.barrierAll() }
 // slot, Future and first-attempt context here, so one allocation covers the
 // whole submission record (see TaskCtx.submit).
 type taskState struct {
-	id       int
-	name     string
-	occ      int // occurrence index among same-named tasks, for fault matching
-	opts     Opts
-	retries  int // effective retry budget after Config defaults and policy
+	id      int
+	name    string
+	occ     int // occurrence index among same-named tasks, for fault matching
+	retries int // effective retry budget after Config defaults and policy
+	// The three Opts fields execution needs after submit; carrying them
+	// instead of the whole Opts keeps the per-task record (and its zeroing
+	// on the submit hot path) small.
+	deadline time.Duration
+	fallback any
+	execName string
+	// done is the completion broadcast channel, allocated lazily by
+	// doneChan: most tasks finish before anyone parks on them and never
+	// pay for one. completed is the authoritative flag — waiters poll it
+	// with one atomic load and only materialize the channel to sleep.
 	done     chan struct{}
 	vals     []any
 	err      error
 	degraded bool
 
+	// Execution record carried from submit to runReady: the body, its output
+	// arity, the raw argument list (futures unresolved), and the submitting
+	// context's task state for the barrier's absorbed-error walk.
+	fn1      TaskFunc
+	fnN      MultiTaskFunc
+	nOut     int
+	args     []any
+	parentSt *taskState
+	// floorIDs snapshots the submitting context's sync floor: every id here
+	// became a (ViaMaster) graph dep of this task, so Get on this task can
+	// compact them out of the floor.
+	floorIDs []int
+
+	// Readiness. pending counts unmet argument producers plus one submission
+	// sentinel; the transition to 0 is the ready edge (becomeReady). chMu
+	// guards the completed flag and the children list a producer drains at
+	// completion; stolen records whether dispatch migrated the task off the
+	// deque it was enqueued on (Observer/Stats attribution only).
+	pending   atomic.Int32
+	chMu      sync.Mutex
+	completed atomic.Bool
+	children  []*taskState
+	stolen    bool
+	// reg marks the submit-time field initialization as complete: the
+	// arena slot is reachable by snapshotTasks the moment it is handed
+	// out, so the gather skips slots whose submit has not yet published
+	// them (the store is the release the gather's load acquires). A task
+	// skipped mid-submit is covered transitively — its submitting parent
+	// is gathered, and a parent's completion waits on its children.
+	reg atomic.Bool
+
 	val1  [1]any     // backing for vals when nOut == 1
 	fut1  Future     // the single Future when nOut == 1
 	futp1 [1]*Future // backing for the returned []*Future when nOut == 1
 	ctx0  TaskCtx    // attempt 0's body context (retries allocate fresh ones)
+}
+
+// closedChan is returned by doneChan for already-completed tasks, so the
+// post-completion wait path allocates nothing.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// doneChan returns a channel that is closed once the task completed,
+// allocating st.done on first use. Callers that only need a completion
+// probe read st.completed directly; the channel exists purely for waiters
+// that must sleep in a select.
+func (st *taskState) doneChan() <-chan struct{} {
+	if st.completed.Load() {
+		return closedChan
+	}
+	st.chMu.Lock()
+	if st.completed.Load() {
+		st.chMu.Unlock()
+		return closedChan
+	}
+	if st.done == nil {
+		st.done = make(chan struct{})
+	}
+	ch := st.done
+	st.chMu.Unlock()
+	return ch
 }
 
 // Future is a handle to the not-yet-available output of a task. Passing a
@@ -261,7 +335,9 @@ func (f *Future) TaskID() int { return f.st.id }
 // wait blocks until the producing task completed, without sync-floor
 // semantics (used for dependency resolution and barriers).
 func (f *Future) wait() (any, error) {
-	<-f.st.done
+	if !f.st.completed.Load() {
+		<-f.st.doneChan()
+	}
 	if f.st.err != nil {
 		return nil, f.st.err
 	}
@@ -276,6 +352,19 @@ type TaskCtx struct {
 	parent     int  // graph ID of the enclosing task, -1 for main
 	insideTask bool // true when this ctx belongs to a running task body
 
+	// ownerSt is the taskState whose body this context belongs to (nil for
+	// main); it seeds taskState.parentSt on nested submissions. wkr is the
+	// deque the executing carrier owns — nested submits push there, the
+	// lock-free fast path — and may be nil (main, or a carrier that found
+	// every deque slot claimed). onCarrier is true when the body runs inline
+	// on the carrier/helper goroutine (no Deadline): such a body blocks by
+	// helping — running other ready tasks — instead of parking, and can
+	// never be abandoned. Deadline bodies run on a spawned goroutine
+	// (onCarrier false) and keep the PR 2 park/abandon protocol.
+	ownerSt   *taskState
+	wkr       *worker
+	onCarrier bool
+
 	// Attempt slot accounting. A task body starts out owning the worker
 	// slot its attempt acquired; blockingWait parks the body by handing the
 	// slot back to the pool and reacquires it when the awaited value
@@ -288,9 +377,41 @@ type TaskCtx struct {
 	abandoned bool
 	holdsSlot bool
 
+	// floor is the compactable sync floor: the task IDs whose ordering the
+	// next submission must capture as graph deps. Get(X) both adds X and
+	// deletes every id in X.floorIDs — those became deps of X, so ordering
+	// through X subsumes them and the floor stays O(live sync points)
+	// instead of growing with every Get. synced is the full, never-compacted
+	// set of ids this context ever synchronised; it drives the ViaMaster
+	// flag on argument deps, which must not forget compacted entries.
+	// Invariant: floor ⊆ synced.
+	// floorLazy holds barrier results not yet folded into the maps:
+	// WaitAll/Barrier synchronise on *every* task, so eagerly inserting each
+	// id costs two map writes per task even when the program ends right
+	// after the barrier. The ids are folded in (materializeFloorLocked) the
+	// next time floor or synced is actually consulted.
 	mu        sync.Mutex
-	floor     map[int]bool // task IDs synchronised in this context
+	floor     map[int]bool
+	synced    map[int]bool
+	floorLazy []int
 	submitted []*Future
+}
+
+// materializeFloorLocked folds pending barrier ids into the floor and
+// synced maps. Callers hold tc.mu.
+func (tc *TaskCtx) materializeFloorLocked() {
+	if len(tc.floorLazy) == 0 {
+		return
+	}
+	if tc.floor == nil {
+		tc.floor = make(map[int]bool, len(tc.floorLazy))
+		tc.synced = make(map[int]bool, len(tc.floorLazy))
+	}
+	for _, id := range tc.floorLazy {
+		tc.floor[id] = true
+		tc.synced[id] = true
+	}
+	tc.floorLazy = tc.floorLazy[:0]
 }
 
 // Submit schedules fn as a task. Arguments may be plain values, *Future, or
@@ -300,7 +421,7 @@ type TaskCtx struct {
 // submitted through its own TaskCtx completed (a nested task is not done
 // until its children are).
 func (tc *TaskCtx) Submit(o Opts, fn TaskFunc, args ...any) *Future {
-	return tc.submit(o, 1, fn, nil, args)[0]
+	return tc.submit(&o, 1, fn, nil, args)[0]
 }
 
 // SubmitN schedules a task producing nOut outputs and returns one Future
@@ -311,7 +432,7 @@ func (tc *TaskCtx) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*F
 	if nOut <= 0 {
 		panic("compss: SubmitN needs nOut >= 1")
 	}
-	return tc.submit(o, nOut, nil, fn, args)
+	return tc.submit(&o, nOut, nil, fn, args)
 }
 
 // SubmitExec schedules the registered backend function o.Exec as a
@@ -326,7 +447,7 @@ func (tc *TaskCtx) SubmitN(o Opts, nOut int, fn MultiTaskFunc, args ...any) []*F
 // Submit with a closure for nesting workflows.
 func (tc *TaskCtx) SubmitExec(o Opts, args ...any) *Future {
 	tc.checkExec(o)
-	return tc.submit(o, 1, nil, nil, args)[0]
+	return tc.submit(&o, 1, nil, nil, args)[0]
 }
 
 // SubmitExecN is SubmitExec for a registered function with nOut outputs
@@ -336,7 +457,7 @@ func (tc *TaskCtx) SubmitExecN(o Opts, nOut int, args ...any) []*Future {
 		panic("compss: SubmitExecN needs nOut >= 1")
 	}
 	tc.checkExec(o)
-	return tc.submit(o, nOut, nil, nil, args)
+	return tc.submit(&o, nOut, nil, nil, args)
 }
 
 func (tc *TaskCtx) checkExec(o Opts) {
@@ -349,22 +470,24 @@ func (tc *TaskCtx) checkExec(o Opts) {
 }
 
 // appendArgDep adds an argument dependency on task id, collapsing duplicate
-// future arguments into one edge. ViaMaster follows floor membership: a
-// value the context already synchronised travels through the master again.
-func appendArgDep(deps []graph.Dep, id int, floor map[int]bool) []graph.Dep {
+// future arguments into one edge. ViaMaster follows synced membership: a
+// value the context already synchronised travels through the master again
+// (synced, unlike the floor, is never compacted, so the flag survives floor
+// compaction).
+func appendArgDep(deps []graph.Dep, id int, synced map[int]bool) []graph.Dep {
 	for i := range deps {
 		if deps[i].Task == id {
 			return deps
 		}
 	}
-	return append(deps, graph.Dep{Task: id, ViaMaster: floor[id]})
+	return append(deps, graph.Dep{Task: id, ViaMaster: synced[id]})
 }
 
 // submit is the single submission code path. Exactly one of fn1 / fnN is
 // non-nil: Submit passes its TaskFunc as fn1 (no wrapping closure, and the
 // single output value travels by copy, not through a fresh []any), SubmitN
 // its MultiTaskFunc as fnN.
-func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, args []any) []*Future {
+func (tc *TaskCtx) submit(o *Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, args []any) []*Future {
 	if o.Name == "" {
 		o.Name = "task"
 	}
@@ -392,6 +515,7 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, arg
 		}
 	}
 	tc.mu.Lock()
+	tc.materializeFloorLocked()
 	var gdeps []graph.Dep
 	if n := nArg + len(tc.floor); n > 0 {
 		gdeps = make([]graph.Dep, 0, n)
@@ -399,15 +523,20 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, arg
 	for _, a := range args {
 		switch v := a.(type) {
 		case *Future:
-			gdeps = appendArgDep(gdeps, v.st.id, tc.floor)
+			gdeps = appendArgDep(gdeps, v.st.id, tc.synced)
 		case []*Future:
 			for _, f := range v {
-				gdeps = appendArgDep(gdeps, f.st.id, tc.floor)
+				gdeps = appendArgDep(gdeps, f.st.id, tc.synced)
 			}
 		}
 	}
 	nArgDeps := len(gdeps)
+	var floorIDs []int
+	if len(tc.floor) > 0 {
+		floorIDs = make([]int, 0, len(tc.floor))
+	}
 	for id := range tc.floor {
+		floorIDs = append(floorIDs, id)
 		isArg := false
 		for i := 0; i < nArgDeps; i++ {
 			if gdeps[i].Task == id {
@@ -439,7 +568,7 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, arg
 	}
 	o.Retries, o.Backoff = retries, backoff
 
-	id, occ := tc.rt.g.AddCounted(graph.Task{
+	gt := graph.Task{
 		Name:       o.Name,
 		Parent:     tc.parent,
 		Deps:       gdeps,
@@ -449,12 +578,24 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, arg
 		OutBytes:   o.OutBytes,
 		Retries:    retries,
 		BackoffSec: backoff,
-	})
-
-	st := &taskState{
-		id: id, name: o.Name, occ: occ, opts: o, retries: retries,
-		done: make(chan struct{}),
 	}
+	// The occurrence index only feeds fault matching; without a fault plan
+	// the cheaper Append skips the graph's per-name counter map.
+	var id, occ int
+	if tc.rt.cfg.Faults == nil {
+		id = tc.rt.g.Append(&gt)
+	} else {
+		id, occ = tc.rt.g.AddCounted(gt)
+	}
+
+	st := tc.rt.ex.allocTask(tc.wkr)
+	st.id, st.name, st.occ, st.retries = id, o.Name, occ, retries
+	st.deadline, st.fallback, st.execName = o.Deadline, o.Fallback, o.Exec
+	st.fn1, st.fnN, st.nOut, st.args = fn1, fnN, nOut, args
+	st.parentSt, st.floorIDs = tc.ownerSt, floorIDs
+	// The sentinel keeps the task unready until dependency wiring below is
+	// complete, even when producers finish concurrently.
+	st.pending.Store(1)
 	var futs []*Future
 	if nOut == 1 {
 		st.vals = st.val1[:]
@@ -468,65 +609,154 @@ func (tc *TaskCtx) submit(o Opts, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, arg
 			futs[i] = &Future{st: st, idx: i}
 		}
 	}
+	st.reg.Store(true) // init complete: publish to the registry gather
 
-	tc.rt.mu.Lock()
-	tc.rt.all = append(tc.rt.all, st)
-	if tc.rt.byID == nil {
-		tc.rt.byID = map[int]*taskState{}
-	}
-	tc.rt.byID[id] = st
-	tc.rt.mu.Unlock()
 	tc.mu.Lock()
+	if tc.submitted == nil {
+		tc.submitted = make([]*Future, 0, 16)
+	}
 	tc.submitted = append(tc.submitted, futs[0])
 	tc.mu.Unlock()
 
-	// Emit before the run goroutine spawns so Submit is causally first in
-	// the task's event sequence.
+	// Emit before dependency wiring so Submit is causally first in the
+	// task's event sequence (wiring can make the task ready immediately).
 	tc.rt.emit(EventSubmit, st, -1, nil, "", false)
-	go tc.rt.run(st, id, nOut, fn1, fnN, args)
+
+	// Wire argument dependencies: register this task as a child of every
+	// still-running producer, counting each registration in pending. A
+	// producer that already completed contributes neither a child entry nor
+	// a pending increment, so the accounting stays balanced; duplicate
+	// future arguments are symmetric too (registered and counted once per
+	// occurrence, decremented once per child entry).
+	for _, a := range args {
+		switch v := a.(type) {
+		case *Future:
+			if tryAddChild(v.st, st) {
+				st.pending.Add(1)
+			}
+		case []*Future:
+			for _, f := range v {
+				if tryAddChild(f.st, st) {
+					st.pending.Add(1)
+				}
+			}
+		}
+	}
+	// Drop the sentinel; if every producer already finished, the task is
+	// ready here, on the submitter — a body submit pushes straight to its
+	// own worker's deque without touching any runtime-global state.
+	if st.pending.Add(-1) == 0 {
+		tc.rt.becomeReady(st, tc.wkr)
+	}
 	return futs
 }
 
-// run executes a task: resolve dependencies, then loop over attempts —
-// acquire a worker slot, run the body (with panic containment, deadline and
-// fault injection), wait for the attempt's nested children — retrying while
-// the budget lasts, and finally publish the value, the declared fallback
-// (Degrade), or the failure. Each transition emits the matching Observer
-// event (see observer.go for the guaranteed per-task sequences); the
-// StatsObserver derives the legacy TaskStats entirely from this stream.
-func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, args []any) {
-	defer close(st.done)
+// tryAddChild registers c as a completion child of p, reporting false when p
+// already completed (its children were drained; the caller must not count a
+// pending dependency on it).
+func tryAddChild(p, c *taskState) bool {
+	p.chMu.Lock()
+	defer p.chMu.Unlock()
+	if p.completed.Load() {
+		return false
+	}
+	p.children = append(p.children, c)
+	return true
+}
 
-	// Resolve arguments outside the worker slot so blocked tasks do not
-	// hold execution capacity. A failed dependency means this task never
-	// runs — it still emits a terminal "deps" failure event so observers
-	// (and through them StatsSummary) account for every graph node.
-	resolved := make([]any, len(args))
-	for i, a := range args {
+// becomeReady fires when a task's last argument producer completed (or
+// immediately at submit, for tasks with no pending producers): it screens
+// the producers for failures, then enqueues the task on w's deque — the
+// submitting or completing worker, preserving locality — or the injector.
+//
+// The failure screen walks the arguments in their original order, so the
+// reported dependency error is the first failing argument exactly as the
+// old sequential resolution produced. A failed dependency means the body
+// never runs; the task still emits a terminal "deps" failure event so
+// observers (and through them StatsSummary) account for every graph node,
+// and still completes so its own dependents cascade.
+func (rt *Runtime) becomeReady(st *taskState, w *worker) {
+	for _, a := range st.args {
 		switch v := a.(type) {
 		case *Future:
-			val, err := v.wait()
-			if err != nil {
-				rt.failDeps(st, err)
+			if v.st.err != nil {
+				rt.failDepsCascade(st, v.st.err, w)
 				return
 			}
-			resolved[i] = val
 		case []*Future:
-			vals := make([]any, len(v))
-			for j, f := range v {
-				val, err := f.wait()
-				if err != nil {
-					rt.failDeps(st, err)
+			for _, f := range v {
+				if f.st.err != nil {
+					rt.failDepsCascade(st, f.st.err, w)
 					return
 				}
-				vals[j] = val
 			}
-			resolved[i] = vals
-		default:
-			resolved[i] = a
 		}
 	}
 	rt.emit(EventDepsReady, st, -1, nil, "", false)
+	rt.ex.enqueue(st, w)
+}
+
+// failDepsCascade terminates a task whose dependency failed and propagates
+// readiness to its own children (which will fail the same screen in turn).
+func (rt *Runtime) failDepsCascade(st *taskState, err error, w *worker) {
+	rt.failDeps(st, err)
+	rt.complete(st, w)
+}
+
+// complete marks st completed (closing its done channel, when a waiter
+// materialized one) and decrements every registered child's pending count,
+// making the last-dependency children ready on the completing worker's
+// deque. Runs on whichever goroutine finished the task. The caller must
+// have published st.vals / st.err before calling: the completed store is
+// the release waiters synchronise on.
+func (rt *Runtime) complete(st *taskState, w *worker) {
+	st.chMu.Lock()
+	st.completed.Store(true)
+	if st.done != nil {
+		close(st.done)
+	}
+	kids := st.children
+	st.children = nil
+	st.chMu.Unlock()
+	for _, c := range kids {
+		if c.pending.Add(-1) == 0 {
+			rt.becomeReady(c, w)
+		}
+	}
+}
+
+// runReady executes a ready task to completion: resolve the (already
+// available) argument values, then loop over attempts — acquire a worker
+// slot, run the body (with panic containment, deadline and fault
+// injection), wait for the attempt's nested children — retrying while the
+// budget lasts, and finally publish the value, the declared fallback
+// (Degrade), or the failure. Each transition emits the matching Observer
+// event (see observer.go for the guaranteed per-task sequences); the
+// StatsObserver derives the legacy TaskStats entirely from this stream.
+// stolen records whether this task migrated off the deque it was enqueued
+// on, purely for Observer/Stats attribution.
+func (rt *Runtime) runReady(st *taskState, w *worker, stolen bool) {
+	st.stolen = stolen
+	id, nOut := st.id, st.nOut
+	args := st.args
+	var resolved []any
+	if len(args) > 0 {
+		resolved = make([]any, len(args))
+		for i, a := range args {
+			switch v := a.(type) {
+			case *Future:
+				resolved[i] = v.st.vals[v.idx]
+			case []*Future:
+				vals := make([]any, len(v))
+				for j, f := range v {
+					vals[j] = f.st.vals[f.idx]
+				}
+				resolved[i] = vals
+			default:
+				resolved[i] = a
+			}
+		}
+	}
 
 	for attempt := 0; ; attempt++ {
 		rt.sem <- struct{}{}
@@ -541,14 +771,23 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 		} else {
 			child = &TaskCtx{rt: rt, parent: id, insideTask: true, holdsSlot: true}
 		}
-		res := rt.execAttempt(st, child, attempt, nOut, fn1, fnN, resolved)
+		child.ownerSt = st
+		child.wkr = w
+		child.onCarrier = st.deadline <= 0
+		res := rt.execAttempt(st, child, attempt, nOut, st.fn1, st.fnN, resolved)
 		if !res.slotLost {
 			<-rt.sem
 		}
 		// The body is done and the slot released; End events are stamped
 		// here so End−Start measures body execution, not the bookkeeping
-		// (nested-children wait) below.
-		bodyDone := time.Now()
+		// (nested-children wait) below. With no observers attached the
+		// stamp is skipped — the clock read is measurable on the dispatch
+		// hot path — and taken lazily on the (cold) failure branches,
+		// which feed it to the graph's failure record.
+		var bodyDone time.Time
+		if rt.obs.Load() != nil {
+			bodyDone = time.Now()
+		}
 
 		if res.mode == "timeout" {
 			// Do not wait for the abandoned attempt's children: Deadline
@@ -574,8 +813,14 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 			} else {
 				st.vals[0] = res.val // single-output fast path (nOut == 1)
 			}
+			if bodyDone.IsZero() && rt.obs.Load() != nil {
+				bodyDone = time.Now() // observer attached mid-attempt
+			}
 			rt.emitAt(EventEnd, st, attempt, bodyDone, nil, "", false, res.worker)
 			break
+		}
+		if bodyDone.IsZero() {
+			bodyDone = time.Now() // observers were off at body return
 		}
 		rt.g.RecordFailure(graph.FailureEvent{
 			Task: id, Attempt: attempt, Mode: res.mode, CostFraction: res.frac, At: bodyDone,
@@ -586,7 +831,7 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 			continue
 		}
 		if rt.cfg.OnTaskFailure == Degrade {
-			if vals, ok := fallbackValues(st.opts.Fallback, nOut); ok {
+			if vals, ok := fallbackValues(st.fallback, nOut); ok {
 				st.vals = vals
 				st.degraded = true
 				rt.g.MarkDegraded(id)
@@ -599,6 +844,7 @@ func (rt *Runtime) run(st *taskState, id, nOut int, fn1 TaskFunc, fnN MultiTaskF
 		rt.emitAt(EventFailure, st, attempt, bodyDone, res.err, res.mode, true, res.worker)
 		break
 	}
+	rt.complete(st, w)
 }
 
 // failDeps records a dep-resolution failure: a collapsed DepError, surfaced
@@ -634,7 +880,7 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 	if f := rt.cfg.Faults.match(st.id, st.name, st.occ, attempt); f != nil {
 		frac = f.fraction()
 		mode := f.Mode
-		if mode == FaultHang && st.opts.Deadline <= 0 {
+		if mode == FaultHang && st.deadline <= 0 {
 			mode = FaultError // nothing would ever cancel the hang
 		}
 		if mode == FaultHang {
@@ -643,57 +889,40 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 		fn1, fnN = nil, injectedBody(st, attempt, mode, cancel)
 	}
 
-	runBody := func() (res attemptResult) {
-		defer func() {
-			if r := recover(); r != nil {
-				res = attemptResult{
-					err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("panic: %v", r)},
-					mode: "panic",
-					frac: frac,
-				}
-			}
-		}()
-		switch {
-		case fn1 != nil:
-			v, err := fn1(child, resolved)
-			if err != nil {
-				return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
-			}
-			return attemptResult{val: v}
-		case fnN != nil:
-			vals, err := fnN(child, resolved)
-			switch {
-			case err != nil:
-				return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
-			case len(vals) != nOut:
-				return attemptResult{
-					err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("returned %d values, declared %d", len(vals), nOut)},
-					mode: "error",
-					frac: 1,
-				}
-			}
-			return attemptResult{vals: vals}
-		default:
-			// Exec-named body (SubmitExec): dispatch through the backend.
-			// Injected faults never reach here — the injected body replaced
-			// fnN above, so a fault-plan entry fails the attempt without a
-			// wire round-trip, exactly as it bypasses closure bodies.
-			return rt.execBody(st, nOut, resolved)
-		}
-	}
-
-	d := st.opts.Deadline
+	d := st.deadline
 	if d <= 0 {
-		return runBody()
+		// No deadline: run the body inline on the calling carrier/helper —
+		// no goroutine, no result channel, no closure allocation.
+		return rt.runAttemptBody(st, child, nOut, fn1, fnN, resolved, frac)
 	}
 	ch := make(chan attemptResult, 1)
-	go func() { ch <- runBody() }()
+	go func() { ch <- rt.runAttemptBody(st, child, nOut, fn1, fnN, resolved, frac) }()
 	timer := time.NewTimer(d)
 	defer timer.Stop()
+	// While blocked on this select the calling carrier processes nothing, so
+	// uncount it from the live-carrier gate: work the deadline body enqueues
+	// (nested submissions) can then spawn a replacement carrier. The
+	// anyWork recheck closes the race with an enqueue that saw the fleet
+	// full just before the decrement. Helpers running a deadline attempt
+	// were never counted, so the gate dips below the true carrier count —
+	// harmless: it only permits an extra spawn, and execution parallelism is
+	// bounded by the slot pool, not by carrier count.
+	rt.ex.nLive.Add(-1)
+	if rt.ex.anyWork() {
+		rt.ex.signalWork()
+	}
+	var timedOut bool
+	var res attemptResult
 	select {
-	case res := <-ch:
-		return res
+	case res = <-ch:
 	case <-timer.C:
+		timedOut = true
+	}
+	rt.ex.nLive.Add(1)
+	if !timedOut {
+		return res
+	}
+	{
 		// Abandon the attempt: its goroutine keeps running but its result is
 		// discarded, and its context stops touching the worker semaphore.
 		// Atomically take the slot away from the body: if it still holds one
@@ -718,6 +947,48 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 	}
 }
 
+// runAttemptBody executes the (possibly fault-swapped) body of one attempt
+// with panic containment. It runs inline on the dispatching goroutine for
+// deadline-free tasks and on a spawned goroutine under a Deadline.
+func (rt *Runtime) runAttemptBody(st *taskState, child *TaskCtx, nOut int, fn1 TaskFunc, fnN MultiTaskFunc, resolved []any, frac float64) (res attemptResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = attemptResult{
+				err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("panic: %v", r)},
+				mode: "panic",
+				frac: frac,
+			}
+		}
+	}()
+	switch {
+	case fn1 != nil:
+		v, err := fn1(child, resolved)
+		if err != nil {
+			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
+		}
+		return attemptResult{val: v}
+	case fnN != nil:
+		vals, err := fnN(child, resolved)
+		switch {
+		case err != nil:
+			return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: frac}
+		case len(vals) != nOut:
+			return attemptResult{
+				err:  &TaskError{ID: st.id, Name: st.name, Err: fmt.Errorf("returned %d values, declared %d", len(vals), nOut)},
+				mode: "error",
+				frac: 1,
+			}
+		}
+		return attemptResult{vals: vals}
+	default:
+		// Exec-named body (SubmitExec): dispatch through the backend.
+		// Injected faults never reach here — the injected body replaced
+		// fnN in execAttempt, so a fault-plan entry fails the attempt
+		// without a wire round-trip, exactly as it bypasses closure bodies.
+		return rt.execBody(st, nOut, resolved)
+	}
+}
+
 // execBody runs one attempt of an Opts.Exec-named task. With a Backend
 // attached the attempt is the backend's problem (an exec.Remote ships it to
 // a worker process and the returned worker id lands on the End/Failure
@@ -725,7 +996,7 @@ func (rt *Runtime) execAttempt(st *taskState, child *TaskCtx, attempt, nOut int,
 // local path passes the value by copy, so an in-process exec task costs the
 // same as a closure body.
 func (rt *Runtime) execBody(st *taskState, nOut int, resolved []any) attemptResult {
-	name := st.opts.Exec
+	name := st.execName
 	if be := rt.cfg.Backend; be != nil {
 		vals, worker, err := be.Execute(name, nOut, resolved)
 		if err != nil {
@@ -789,22 +1060,67 @@ func fallbackValues(fb any, nOut int) ([]any, bool) {
 func (tc *TaskCtx) Get(f *Future) (any, error) {
 	v, err := tc.blockingWait(f)
 	tc.mu.Lock()
+	tc.materializeFloorLocked()
 	if tc.floor == nil {
 		tc.floor = map[int]bool{}
+		tc.synced = map[int]bool{}
 	}
 	tc.floor[f.st.id] = true
+	tc.synced[f.st.id] = true
+	// Compact: every id the awaited task snapshotted from a sync floor at
+	// submission became one of its graph deps, so ordering through it
+	// subsumes them — without this the floor grows by one per Get and every
+	// later Submit pays a linear scan over it (the old quadratic wall).
+	for _, id := range f.st.floorIDs {
+		delete(tc.floor, id)
+	}
 	tc.mu.Unlock()
 	return v, err
 }
 
-// blockingWait waits for a future; when called from inside a task body it
-// releases the worker slot while blocked so nested tasks cannot deadlock
-// the pool. An abandoned attempt (deadline overrun) no longer owns a slot
-// and must wait without the release/reacquire dance; abandonment can also
-// land while the body is parked here, in which case the slot stays with the
-// pool (the retry owns that capacity) and the body resumes slotless.
+// blockingWait waits for a future. Three callers, three strategies:
+//
+//   - The main program (or any non-task context) helps: it runs ready tasks
+//     inline until the target completes, parking only when the queues are
+//     empty.
+//   - A non-Deadline body runs inline on a carrier or helper goroutine
+//     (onCarrier): it hands its worker slot back to the pool, helps, and
+//     reacquires before resuming — so nested tasks cannot deadlock the pool
+//     and the blocked body's goroutine keeps contributing throughput.
+//     Abandonment is impossible here (no deadline), so the slot bookkeeping
+//     is plain.
+//   - A Deadline body runs on a spawned goroutine and keeps the PR 2
+//     park/abandon protocol verbatim: release the slot, wait passively,
+//     reacquire unless the deadline handler abandoned the attempt — in
+//     which case the slot stays with the pool (the retry owns that
+//     capacity) and the body resumes slotless.
 func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 	if !tc.insideTask {
+		if !f.st.completed.Load() {
+			rng := tc.rt.ex.nextSeed()
+			tc.rt.ex.helpUntilDone(nil, &rng, f.st)
+		}
+		return f.wait()
+	}
+	if tc.onCarrier {
+		if f.st.completed.Load() { // already resolved, keep the slot
+			return f.wait()
+		}
+		tc.slotMu.Lock()
+		held := tc.holdsSlot
+		tc.holdsSlot = false
+		tc.slotMu.Unlock()
+		if held {
+			<-tc.rt.sem // hand the slot back; never blocks, we held a token
+		}
+		rng := tc.rt.ex.nextSeed()
+		tc.rt.ex.helpUntilDone(tc.wkr, &rng, f.st)
+		if held {
+			tc.rt.sem <- struct{}{}
+			tc.slotMu.Lock()
+			tc.holdsSlot = true
+			tc.slotMu.Unlock()
+		}
 		return f.wait()
 	}
 	tc.slotMu.Lock()
@@ -812,11 +1128,9 @@ func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 		tc.slotMu.Unlock()
 		return f.wait()
 	}
-	select {
-	case <-f.st.done: // already resolved, keep the slot
+	if f.st.completed.Load() { // already resolved, keep the slot
 		tc.slotMu.Unlock()
 		return f.wait()
-	default:
 	}
 	// Park: hand the slot back. The receive never blocks — this attempt
 	// holds a slot, so the pool has at least its token.
@@ -824,7 +1138,7 @@ func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 	tc.holdsSlot = false
 	tc.slotMu.Unlock()
 
-	<-f.st.done
+	<-f.st.doneChan()
 
 	// Reacquire before resuming the body, unless the attempt was abandoned
 	// while parked — its deadline handler saw holdsSlot == false and left
@@ -866,26 +1180,36 @@ func (tc *TaskCtx) WaitAll() error {
 		}
 	}
 	tc.mu.Lock()
-	if tc.floor == nil {
-		tc.floor = map[int]bool{}
-	}
 	for _, f := range snapshot {
-		tc.floor[f.st.id] = true
+		tc.floorLazy = append(tc.floorLazy, f.st.id)
 	}
 	tc.mu.Unlock()
 	return first
 }
 
 // waitSubmitted waits for this context's tasks without floor bookkeeping;
-// used for the implicit wait when a task body returns. The caller's worker
-// slot is already released at that point.
+// used for the implicit wait when a task body returns. The attempt's worker
+// slot is already released at that point, so the calling carrier/helper
+// goroutine helps — running the very children it is waiting for when
+// nothing else claimed them.
 func (tc *TaskCtx) waitSubmitted() error {
 	tc.mu.Lock()
+	if len(tc.submitted) == 0 {
+		tc.mu.Unlock()
+		return nil
+	}
 	snapshot := make([]*Future, len(tc.submitted))
 	copy(snapshot, tc.submitted)
 	tc.mu.Unlock()
 	var first error
+	var rng uint64
 	for _, f := range snapshot {
+		if !f.st.completed.Load() {
+			if rng == 0 {
+				rng = tc.rt.ex.nextSeed()
+			}
+			tc.rt.ex.helpUntilDone(tc.wkr, &rng, f.st)
+		}
 		if _, err := f.wait(); err != nil && first == nil {
 			first = err
 		}
@@ -898,54 +1222,50 @@ func (tc *TaskCtx) waitSubmitted() error {
 // degraded to its fallback — are not the workflow's failures and are
 // skipped; the first unabsorbed error in submission order is returned.
 func (tc *TaskCtx) barrierAll() error {
-	tc.rt.mu.Lock()
-	snapshot := make([]*taskState, len(tc.rt.all))
-	copy(snapshot, tc.rt.all)
-	tc.rt.mu.Unlock()
+	snapshot := tc.rt.ex.snapshotTasks()
 
 	var first error
-	tc.mu.Lock()
-	if tc.floor == nil {
-		tc.floor = map[int]bool{}
-	}
-	tc.mu.Unlock()
+	var rng uint64
 	for _, st := range snapshot {
-		<-st.done
+		if !st.completed.Load() {
+			if rng == 0 {
+				rng = tc.rt.ex.nextSeed()
+			}
+			tc.rt.ex.helpUntilDone(nil, &rng, st)
+		}
 		if st.err != nil && first == nil && !tc.rt.errorAbsorbed(st) {
 			first = st.err
 		}
-		tc.mu.Lock()
-		tc.floor[st.id] = true
-		tc.mu.Unlock()
 	}
+	tc.mu.Lock()
+	if free := cap(tc.floorLazy) - len(tc.floorLazy); free < len(snapshot) {
+		grown := make([]int, len(tc.floorLazy), len(tc.floorLazy)+len(snapshot))
+		copy(grown, tc.floorLazy)
+		tc.floorLazy = grown
+	}
+	for _, st := range snapshot {
+		tc.floorLazy = append(tc.floorLazy, st.id)
+	}
+	tc.mu.Unlock()
 	return first
 }
 
 // errorAbsorbed reports whether st's failure was compensated upstream: some
 // ancestor task ultimately published a value (via a later attempt whose
 // resubmitted children succeeded, or via its fallback), so the workflow as
-// a whole moved past this failure.
+// a whole moved past this failure. Ancestors have smaller graph IDs than
+// their nested children, so by the time the barrier's in-order sweep asks
+// about st every ancestor's done channel is already closed (a parent's
+// completion waits on its children) — the waits below are formally blocking
+// but never park in practice.
 func (rt *Runtime) errorAbsorbed(st *taskState) bool {
-	t, ok := rt.g.Task(st.id)
-	if !ok {
-		return false
-	}
-	for p := t.Parent; p >= 0; {
-		rt.mu.Lock()
-		ps := rt.byID[p]
-		rt.mu.Unlock()
-		if ps == nil {
-			return false
+	for p := st.parentSt; p != nil; p = p.parentSt {
+		if !p.completed.Load() {
+			<-p.doneChan()
 		}
-		<-ps.done
-		if ps.err == nil {
+		if p.err == nil {
 			return true
 		}
-		pt, ok := rt.g.Task(p)
-		if !ok {
-			return false
-		}
-		p = pt.Parent
 	}
 	return false
 }

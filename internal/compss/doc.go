@@ -53,4 +53,29 @@
 // the submit site guarantees exclusive ownership (see dsarray.ReduceInPlace
 // for the one sanctioned exception). Observer callbacks run on runtime
 // goroutines and must not block.
+//
+// # Scheduling
+//
+// Dispatch is work-stealing (executor.go, DESIGN.md "Scheduler"): each
+// worker slot owns a deque of ready tasks, a body's nested submissions push
+// onto its own worker's deque without a runtime-global lock, external
+// submissions round-robin over the live workers, and idle workers steal.
+// Three consequences are part of the package contract:
+//
+//   - Locality: a completing task wakes its newly-ready dependents onto the
+//     completing worker's deque, so a future tends to be consumed where it
+//     was produced. Tasks must not rely on this — any attempt can be stolen
+//     by any worker (Event.Stolen reports when one was), so bodies must be
+//     goroutine-agnostic.
+//   - No execution-order guarantee exists between independent ready tasks:
+//     the owner runs its deque LIFO, thieves take FIFO, so sibling tasks run
+//     in no particular order. Only dependency order is guaranteed.
+//   - A task whose dependency failed is declared dep-failed once all of its
+//     dependencies completed, not at the instant the first one failed; its
+//     terminal event sequence is unchanged, but the failure is observed
+//     after the last dependency settles.
+//
+// Waits help instead of blocking: Get and Barrier execute ready tasks
+// inline while they wait (within the Config.Workers slot bound), so a
+// parent blocked on its child makes progress even with Workers: 1.
 package compss

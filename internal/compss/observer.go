@@ -123,6 +123,14 @@ type Event struct {
 	// remote Backend); "" for in-process execution. Trace exporters use it
 	// to put remote attempts on per-worker lanes.
 	Worker string
+	// Stolen marks Start events of tasks the work-stealing dispatcher
+	// migrated off the deque they were enqueued on: another worker ran out
+	// of local work and took this task from its origin worker (or a parked
+	// submitter's deque). Always false on other event kinds. Queue-time
+	// attribution is unaffected — DepsReady→Start still measures the full
+	// ready-to-running gap; the steal happens at dispatch, so the time was
+	// spent waiting on the origin deque.
+	Stolen bool
 }
 
 // Observer receives lifecycle events. Implementations must be safe for
@@ -172,6 +180,11 @@ func (rt *Runtime) emitAt(kind EventKind, st *taskState, attempt int, at time.Ti
 	ev := Event{
 		Kind: kind, Task: st.id, Name: st.name, Attempt: attempt,
 		Time: at, Err: err, Mode: mode, Final: final, Worker: worker,
+		// st.stolen is written once, by the executing goroutine before it
+		// emits Start; the short-circuit keeps every other event kind —
+		// Submit and DepsReady are emitted by other goroutines — from
+		// reading the field at all.
+		Stolen: kind == EventStart && st.stolen,
 	}
 	for _, o := range *obs {
 		switch kind {

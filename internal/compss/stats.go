@@ -16,6 +16,7 @@ type AttemptStat struct {
 	Queued  time.Duration // runnable (deps ready / retry queued) → body start
 	Run     time.Duration // body start → body return
 	Outcome string        // "ok", "error", "panic" or "timeout"
+	Stolen  bool          // the attempt ran on a worker that stole the task
 }
 
 // TaskStat records the real execution of one task (wall-clock, not virtual
@@ -28,6 +29,15 @@ type TaskStat struct {
 	Queued   time.Duration // dependencies resolved → body start (worker-slot wait), summed over attempts
 	Duration time.Duration // body execution, summed over attempts
 	Attempts int           // executed attempts; 0 means a dependency failed and the body never ran
+	// QueuedStolen is the portion of Queued charged to attempts another
+	// worker stole: the task waited that long on its origin deque before a
+	// thief took it. Queued − QueuedStolen is the locally-dispatched wait,
+	// so the split shows whether slot-wait time comes from a busy owner or
+	// from steal migration latency.
+	QueuedStolen time.Duration
+	// Stolen counts the attempts that ran via a steal; Attempts − Stolen ran
+	// on the worker that enqueued them (or the enqueuing goroutine itself).
+	Stolen int
 	// PerAttempt breaks Queued/Duration down attempt by attempt, in attempt
 	// order; len(PerAttempt) == Attempts.
 	PerAttempt []AttemptStat
@@ -88,8 +98,12 @@ func (s *StatsObserver) OnStart(ev Event) {
 		q := ev.Time.Sub(b.runnable)
 		b.started = ev.Time
 		b.stat.Queued += q
+		if ev.Stolen {
+			b.stat.QueuedStolen += q
+			b.stat.Stolen++
+		}
 		b.stat.Attempts++
-		b.stat.PerAttempt = append(b.stat.PerAttempt, AttemptStat{Queued: q})
+		b.stat.PerAttempt = append(b.stat.PerAttempt, AttemptStat{Queued: q, Stolen: ev.Stolen})
 	}
 }
 
@@ -184,7 +198,9 @@ func (s *StatsObserver) Summary() string {
 	type row struct {
 		name                string
 		total, wait, queued time.Duration
+		qstolen             time.Duration
 		count, retries      int
+		stolen              int
 		failed, degraded    int
 	}
 	agg := map[string]*row{}
@@ -197,6 +213,8 @@ func (s *StatsObserver) Summary() string {
 		r.total += t.Duration
 		r.wait += t.WaitDeps
 		r.queued += t.Queued
+		r.qstolen += t.QueuedStolen
+		r.stolen += t.Stolen
 		r.count++
 		if t.Attempts > 1 {
 			r.retries += t.Attempts - 1
@@ -214,16 +232,16 @@ func (s *StatsObserver) Summary() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s %8s %7s %9s\n",
-		"task", "total", "count", "mean", "wait", "queued", "retries", "failed", "degraded")
+	fmt.Fprintf(&b, "%-20s %10s %8s %12s %10s %10s %10s %7s %8s %7s %9s\n",
+		"task", "total", "count", "mean", "wait", "queued", "q-stolen", "stolen", "retries", "failed", "degraded")
 	for _, r := range rows {
 		mean := time.Duration(0)
 		if r.count > 0 {
 			mean = r.total / time.Duration(r.count)
 		}
-		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s %8d %7d %9d\n", r.name, r.total.Round(time.Microsecond), r.count,
+		fmt.Fprintf(&b, "%-20s %10s %8d %12s %10s %10s %10s %7d %8d %7d %9d\n", r.name, r.total.Round(time.Microsecond), r.count,
 			mean.Round(time.Microsecond), r.wait.Round(time.Microsecond), r.queued.Round(time.Microsecond),
-			r.retries, r.failed, r.degraded)
+			r.qstolen.Round(time.Microsecond), r.stolen, r.retries, r.failed, r.degraded)
 	}
 	return b.String()
 }

@@ -88,12 +88,31 @@ type Graph struct {
 	degraded  map[int]bool
 }
 
-// New returns an empty graph.
-func New() *Graph { return &Graph{} }
+// New returns an empty graph. The task slice starts with room for a small
+// workflow: Task is a wide struct, so growing from zero capacity through
+// repeated doubling re-copies every record several times and leaves the
+// abandoned arrays to the garbage collector — measurable on the submit hot
+// path.
+func New() *Graph { return &Graph{tasks: make([]Task, 0, 128)} }
 
 // Add appends a task and returns its assigned ID.
 func (g *Graph) Add(t Task) int {
 	id, _ := g.AddCounted(t)
+	return id
+}
+
+// Append appends *t (by copy) without maintaining the per-name occurrence
+// counter. Submitters that never consult occurrence indices (no fault plan
+// to match against) use it to skip the map work on the hot path; the
+// pointer parameter spares a second copy of the wide struct. Mixing Append
+// with AddCounted on one graph skews the indices AddCounted hands out, so
+// a graph should stick to one of the two.
+func (g *Graph) Append(t *Task) int {
+	g.mu.Lock()
+	id := len(g.tasks)
+	g.tasks = append(g.tasks, *t)
+	g.tasks[id].ID = id
+	g.mu.Unlock()
 	return id
 }
 

@@ -5,20 +5,23 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR5.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR6.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
-# benchmarks are cheap and run warm (BENCHTIME_MICRO, default 100x —
-# steady-state numbers are the point of the scratch arenas). The internal
+# benchmarks are cheap and run warm (BENCHTIME_MICRO, default 2000x —
+# steady-state numbers are the point of the scratch arenas and of the
+# work-stealing dispatch, whose carriers and slab arenas amortize over the
+# first few hundred iterations; 100x, the pre-PR6 default, mostly measured
+# that warm-up). The internal
 # sweep includes BenchmarkRemoteRoundtrip (internal/exec), the per-attempt
 # wire overhead of the out-of-process backend.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
-micro=${BENCHTIME_MICRO:-100x}
+out=${1:-BENCH_PR6.json}
+micro=${BENCHTIME_MICRO:-2000x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -28,6 +31,21 @@ go test -run=NONE -bench=. -benchmem -benchtime="$micro" ./internal/... 2>&1 | t
 
 echo "== go test -run=NONE -bench=. -benchmem -benchtime=$experiment -timeout=40m ."
 go test -run=NONE -bench=. -benchmem -benchtime="$experiment" -timeout=40m . 2>&1 | tee -a "$tmp"
+
+# The root package's Submit* benchmarks are micro benchmarks living next to
+# the experiment ones; the experiment-tier pass above ran them at
+# $experiment (one cold iteration). Re-run them warm — the awk fold below
+# keeps the last result per name, so these steady-state rows win.
+echo "== go test -run=NONE -bench=Submit -benchmem -benchtime=$micro ."
+go test -run=NONE -bench=Submit -benchmem -benchtime="$micro" . 2>&1 | tee -a "$tmp"
+
+# Scheduler flatness sweep: FanOut100 across GOMAXPROCS settings. The
+# work-stealing dispatch must not fall over when the goroutine count far
+# exceeds the hardware (the -cpu 64 row); the per-setting rows land in the
+# JSON as BenchmarkFanOut100-<n> via the suffix kept below.
+echo "== go test -run=NONE -bench=FanOut100 -benchmem -benchtime=$micro -cpu=1,4,16,64 ./internal/compss/"
+go test -run=NONE -bench=FanOut100 -benchmem -benchtime="$micro" -cpu=1,4,16,64 ./internal/compss/ 2>&1 |
+    sed 's/^BenchmarkFanOut100-\([0-9]*\)/BenchmarkFanOut100@cpu\1/' | tee -a "$tmp"
 
 awk '
     # go test -benchmem lines look like:

@@ -45,11 +45,25 @@ go test -race ./...
 echo "== go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/... ./internal/exec/..."
 go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/trace/... ./internal/eddl/... ./internal/exec/...
 
+# The work-stealing dispatcher's migration paths (deque overflow, injector
+# drain, cross-worker steals, stolen-task deadline abandonment) only open
+# up under unbalanced load; run the stealing stress tests twice at both
+# GOMAXPROCS extremes so single-threaded interleavings and truly parallel ones
+# are both exercised under the race detector.
+echo "== go test -race -count=2 -cpu=1,8 -run 'TestStealStress|TestStolenDeadline' ./internal/compss/"
+go test -race -count=2 -cpu=1,8 -run 'TestStealStress|TestStolenDeadline' ./internal/compss/
+
 # Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
 # regression that re-inflates the per-task allocation count is visible in
-# every gate run (the numbers land in the log; BENCH_PR5.json via
-# scripts/bench.sh is the recorded baseline).
+# every gate run (the numbers land in the log; BENCH_PR6.json via
+# scripts/bench.sh is the recorded baseline). The -mutexprofile run keeps
+# the submit fast path honest: it must stay off contended runtime-global
+# locks, and a profile that suddenly grows is the early warning.
 echo "== go test -run=NONE -bench=Submit -benchtime=100x -benchmem ."
 go test -run=NONE -bench=Submit -benchtime=100x -benchmem .
+echo "== go test -run=NONE -bench=Submit -benchtime=100x -mutexprofile ."
+mutexdir=$(mktemp -d)
+go test -run=NONE -bench=Submit -benchtime=100x -mutexprofile "$mutexdir/mutex.prof" -o "$mutexdir/bench.test" .
+rm -rf "$mutexdir"
 
 echo "ok"
