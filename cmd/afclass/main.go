@@ -40,9 +40,15 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
 	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
 	slots := flag.Int("slots", 1, "task slots per loopback worker")
+	cacheMB := flag.Int("exec-cache-mb", 0, "per-worker future-cache bound in MiB (0 = default, negative disables)")
+	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
 	flag.Parse()
 
-	backend, err := exec.OpenBackend(*backendMode, *peers, *loopback, *slots)
+	backend, err := exec.OpenBackend(exec.BackendOptions{
+		Mode: *backendMode, Peers: *peers,
+		LoopbackWorkers: *loopback, Slots: *slots,
+		CacheMB: *cacheMB, NoRefs: !*refs,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,6 +81,11 @@ func main() {
 	if *traceOut != "" {
 		collector = trace.NewCollector()
 		cfg.Observers = []compss.Observer{collector}
+		// Remote runs also sample the data plane: cache hit/miss instants
+		// and resident-bytes counters land in their own trace process.
+		if r, ok := backend.(*exec.Remote); ok {
+			r.SetCacheHook(collector.AddCacheSample)
+		}
 	}
 
 	// From here on, parallelism belongs to the task runtime: cap the

@@ -41,9 +41,13 @@ func main() {
 	traceOut := flag.String("trace", "", "write the replayed schedule as a Chrome trace to this file")
 	backendMode := flag.String("backend", "local", "execution backend for the captured run: local | remote")
 	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
+	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
 	flag.Parse()
 
-	backend, err := exec.OpenBackend(*backendMode, *peers, 2, 1)
+	backend, err := exec.OpenBackend(exec.BackendOptions{
+		Mode: *backendMode, Peers: *peers, LoopbackWorkers: 2, Slots: 1,
+		NoRefs: !*refs,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -33,10 +33,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"taskml/internal/cluster"
 	"taskml/internal/compss"
@@ -157,7 +159,7 @@ func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
 
 func main() {
 	exec.MaybeWorkerMain() // loopback re-exec hook: serve tasks instead when spawned as a worker
-	exp := flag.String("exp", "csvm", "experiment: csvm | knn | rf | cnn | pca")
+	exp := flag.String("exp", "csvm", "experiment: csvm | knn | rf | cnn | pca | reduce")
 	samples := flag.Int("samples", 1200, "dataset rows (after balancing)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.IntVar(&ft.every, "faults", 0, "inject a first-attempt failure into every Nth task of the model workflow (0 disables)")
@@ -167,17 +169,36 @@ func main() {
 	backendMode := flag.String("backend", "local", "execution backend: local | remote")
 	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
 	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
+	slots := flag.Int("slots", 1, "task slots per loopback worker")
+	cacheMB := flag.Int("exec-cache-mb", 0, "per-worker future-cache bound in MiB (0 = default, negative disables)")
+	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
+	features := flag.Int("features", 256, "feature columns for -exp reduce")
+	brows := flag.Int("reduce-block-rows", 300, "row-block size for -exp reduce")
+	reps := flag.Int("reduce-reps", 3, "measured repetitions for -exp reduce (best wall time wins)")
 	flag.Parse()
 	if traceOut != "" {
 		collector = trace.NewCollector()
 	}
 	var err error
-	backend, err = exec.OpenBackend(*backendMode, *peers, *loopback, 1)
+	backend, err = exec.OpenBackend(exec.BackendOptions{
+		Mode: *backendMode, Peers: *peers,
+		LoopbackWorkers: *loopback, Slots: *slots,
+		CacheMB: *cacheMB, NoRefs: !*refs,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	if backend != nil {
 		defer backend.Close()
+	}
+	if r, ok := backend.(*exec.Remote); ok && collector != nil {
+		r.SetCacheHook(collector.AddCacheSample)
+	}
+
+	if *exp == "reduce" {
+		runReduce(*samples, *features, *brows, *reps, *backendMode, *refs)
+		writeRunTrace()
+		return
 	}
 
 	fmt.Printf("generating dataset (%d rows)...\n", *samples)
@@ -436,6 +457,112 @@ func runPCA(ds *core.Dataset) {
 	}
 	sweepTable("PCA stage (the paper's ≈850 s constant, excluded from its per-model plots)",
 		rt.Graph().Scaled(PCACostScale, BytesScale), configs)
+}
+
+// runReduce is the data-plane benchmark behind `-exp reduce`: a Gram-matrix
+// reduction tree (one gram_block task per row block, then pairwise mat_add
+// merges) executed for real on the selected backend. The reduction re-uses
+// every merge output exactly once at the next tree level, so with
+// `-backend=remote` it measures precisely what the worker future cache and
+// locality-aware placement buy: with refs each merge input stays resident
+// on the worker that produced it, with `-exec-refs=false` every level
+// re-ships full matrices both ways.
+//
+// Besides the human-readable table it prints one machine-readable line
+//
+//	REDUCEBENCH {"backend":...,"refs":...,"wall_ms_best":...,...}
+//
+// which scripts/bench.sh folds into BENCH_PR7.json (values-vs-refs wall
+// clock, bytes on wire, cache hit rate).
+func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
+	if rows < 2 || cols < 1 || brows < 1 || reps < 1 {
+		fatal(fmt.Errorf("reduce: need rows ≥ 2, cols ≥ 1, block rows ≥ 1, reps ≥ 1"))
+	}
+	// Everything below executes through a task runtime; hand the cores to
+	// the worker pool (see the internal/par oversubscription contract).
+	par.SetLimit(1)
+
+	// Deterministic fill (SplitMix64-style): the same input matrix for every
+	// backend mode, so checksums are comparable across invocations.
+	x := mat.New(rows, cols)
+	var s uint64 = 0x9e3779b97f4a7c15
+	for i := range x.Data {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		x.Data[i] = float64(z>>11)/float64(1<<53) - 0.5
+	}
+
+	remote, _ := backend.(*exec.Remote)
+	nBlocks := (rows + brows - 1) / brows
+	fmt.Printf("=== reduce — %d×%d Gram reduction, %d row blocks, backend=%s refs=%v\n",
+		rows, cols, nBlocks, backendMode, refs)
+
+	best := 0.0
+	var checksum float64
+	tasks := 0
+	for rep := 0; rep < reps; rep++ {
+		var obs []compss.Observer
+		if collector != nil {
+			obs = []compss.Observer{collector}
+		}
+		rt := compss.New(compss.Config{Observers: obs, Backend: backend})
+		start := time.Now()
+		xa := dsarray.FromMatrix(rt.Main(), x, brows, cols)
+		v, err := rt.Get(xa.Gram())
+		if err != nil {
+			fatal(err)
+		}
+		if err := rt.Barrier(); err != nil {
+			fatal(err)
+		}
+		wall := float64(time.Since(start).Nanoseconds()) / 1e6
+		sum := 0.0
+		for _, e := range v.(*mat.Dense).Data {
+			sum += e
+		}
+		if rep == 0 {
+			checksum = sum
+		} else if sum != checksum {
+			fatal(fmt.Errorf("reduce: rep %d checksum %x differs from rep 0 %x (not bit-identical)", rep, sum, checksum))
+		}
+		if best == 0 || wall < best {
+			best = wall
+		}
+		tasks = rt.Graph().Len()
+		fmt.Printf("  rep %d: %10.2f ms (%d tasks)\n", rep, wall, tasks)
+	}
+
+	rec := map[string]any{
+		"backend": backendMode, "refs": refs,
+		"rows": rows, "cols": cols, "block_rows": brows, "reps": reps,
+		"wall_ms_best": best, "tasks": tasks,
+		"checksum": fmt.Sprintf("%x", checksum),
+	}
+	if remote != nil {
+		st := remote.Stats()
+		rec["dispatched"] = st.Dispatched
+		rec["bytes_sent"] = st.BytesSent
+		rec["bytes_recv"] = st.BytesRecv
+		rec["ref_hits"] = st.RefHits
+		rec["ref_misses"] = st.RefMisses
+		rec["miss_retries"] = st.MissRetries
+		hitRate := 0.0
+		if st.RefHits+st.RefMisses > 0 {
+			hitRate = float64(st.RefHits) / float64(st.RefHits+st.RefMisses)
+		}
+		rec["cache_hit_rate"] = hitRate
+		fmt.Printf("  wire: %d dispatched, %.2f MB sent, %.2f MB recv, cache hit rate %.0f%% (%d misses, %d resends)\n",
+			st.Dispatched, float64(st.BytesSent)/1e6, float64(st.BytesRecv)/1e6,
+			100*hitRate, st.RefMisses, st.MissRetries)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("REDUCEBENCH %s\n", line)
 }
 
 func fatal(err error) {

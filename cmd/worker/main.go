@@ -35,14 +35,19 @@ func main() {
 	exec.MaybeWorkerMain() // also usable as a loopback re-exec target
 	listen := flag.String("listen", ":7077", "TCP address to serve task requests on")
 	slots := flag.Int("slots", 1, "concurrent task bodies this worker runs")
+	cacheMB := flag.Int("cache-mb", 0, "future-cache bound in MiB (0 = default, negative disables caching)")
 	flag.Parse()
 
+	cacheBytes := int64(0)
+	if *cacheMB != 0 {
+		cacheBytes = int64(*cacheMB) << 20
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}
-	if err := exec.Serve(l, exec.WorkerConfig{Slots: *slots, Log: os.Stderr}); err != nil {
+	if err := exec.Serve(l, exec.WorkerConfig{Slots: *slots, CacheBytes: cacheBytes, Log: os.Stderr}); err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}

@@ -141,6 +141,13 @@ type Runtime struct {
 	obs      atomic.Pointer[[]Observer]
 	statsObs atomic.Pointer[StatsObserver]
 
+	// execSession is this runtime's exec-backend session token (see
+	// exec.NextSession): it scopes the runtime's task ids in worker future
+	// caches, so sequential or concurrent runtimes sharing one backend can
+	// never alias each other's cached outputs. 0 when no Backend is
+	// attached.
+	execSession uint64
+
 	mu sync.Mutex
 }
 
@@ -162,6 +169,9 @@ func New(cfg Config) *Runtime {
 		sem: make(chan struct{}, w),
 	}
 	rt.ex = newExecutor(rt, w)
+	if cfg.Backend != nil {
+		rt.execSession = exec.NextSession()
+	}
 	if len(cfg.Observers) > 0 {
 		obs := make([]Observer, len(cfg.Observers))
 		copy(obs, cfg.Observers)
@@ -995,10 +1005,21 @@ func (rt *Runtime) runAttemptBody(st *taskState, child *TaskCtx, nOut int, fn1 T
 // event); without one it is a direct registry call — the single-output
 // local path passes the value by copy, so an in-process exec task costs the
 // same as a closure body.
+//
+// The backend request carries the task's identity (execSession + id) and
+// the provenance of every future-valued argument (exec.ArgRef), so a
+// data-plane backend can place the attempt near resident inputs and pass
+// references instead of values. The resolved values always travel too —
+// identity is a hint, never a dependency.
 func (rt *Runtime) execBody(st *taskState, nOut int, resolved []any) attemptResult {
 	name := st.execName
 	if be := rt.cfg.Backend; be != nil {
-		vals, worker, err := be.Execute(name, nOut, resolved)
+		req := &exec.Request{
+			Name: name, NOut: nOut, Args: resolved,
+			Session: rt.execSession, TaskID: st.id,
+			ArgRefs: argRefs(st.args, rt.execSession),
+		}
+		vals, worker, err := be.ExecuteTask(req)
 		if err != nil {
 			return attemptResult{
 				err:    &TaskError{ID: st.id, Name: st.name, Err: err},
@@ -1037,6 +1058,34 @@ func (rt *Runtime) execBody(st *taskState, nOut int, resolved []any) attemptResu
 		return attemptResult{err: &TaskError{ID: st.id, Name: st.name, Err: err}, mode: "error", frac: 1}
 	}
 	return attemptResult{vals: vals}
+}
+
+// argRefs derives the exec.ArgRef provenance list from a task's raw
+// (unresolved) argument list: each *Future argument — and each element of a
+// []*Future argument — is the (session, producing-task, output) triple the
+// data plane caches values under. Plain-value arguments carry no ref.
+func argRefs(args []any, session uint64) []exec.ArgRef {
+	if session == 0 {
+		return nil
+	}
+	var refs []exec.ArgRef
+	for i, a := range args {
+		switch v := a.(type) {
+		case *Future:
+			refs = append(refs, exec.ArgRef{
+				Arg: i, Elem: -1,
+				Ref: exec.ValueRef{Session: session, Task: v.st.id, Out: v.idx},
+			})
+		case []*Future:
+			for j, f := range v {
+				refs = append(refs, exec.ArgRef{
+					Arg: i, Elem: j,
+					Ref: exec.ValueRef{Session: session, Task: f.st.id, Out: f.idx},
+				})
+			}
+		}
+	}
+	return refs
 }
 
 // fallbackValues validates a declared fallback against the task's output

@@ -33,40 +33,66 @@ func TestRemoteParityBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	backend, err := exec.SpawnLoopback(2, 1)
-	if err != nil {
-		t.Fatal(err)
+	// Three backend configurations, all required to be bit-identical to the
+	// in-process run: the reference data plane at its default cache size
+	// (steady-state hits), a deliberately tiny 1 MiB cache (constant
+	// eviction, so most references Miss and re-send inlined values), and
+	// the values-only baseline (refs disabled entirely).
+	variants := []struct {
+		name string
+		cfg  exec.LoopbackConfig
+	}{
+		{"refs", exec.LoopbackConfig{Workers: 2, Slots: 1}},
+		{"refs-tiny-cache", exec.LoopbackConfig{Workers: 2, Slots: 1, CacheMB: 1}},
+		{"values-baseline", exec.LoopbackConfig{Workers: 2, Slots: 1, NoRefs: true}},
 	}
-	defer backend.Close()
-	cfg := fastCfg(21)
-	cfg.Backend = backend
-	remote, err := RunCV(ModelRF, ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	if st := backend.Stats(); st.Dispatched == 0 {
-		t.Fatal("no task was dispatched to the workers — the backend was not used")
-	}
-	for i := 0; i < 2; i++ {
-		for j := 0; j < 2; j++ {
-			if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
-				t.Fatalf("confusion[%d][%d]: local %d, remote %d — remote execution changed the result",
-					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			backend, err := exec.SpawnLoopback(v.cfg)
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-	}
-	if len(local.FoldAccuracies) != len(remote.FoldAccuracies) {
-		t.Fatalf("fold counts differ: %d vs %d", len(local.FoldAccuracies), len(remote.FoldAccuracies))
-	}
-	for i := range local.FoldAccuracies {
-		if local.FoldAccuracies[i] != remote.FoldAccuracies[i] {
-			t.Fatalf("fold %d accuracy: local %x, remote %x (not bit-identical)",
-				i, local.FoldAccuracies[i], remote.FoldAccuracies[i])
-		}
-	}
-	if local.PCAK != remote.PCAK {
-		t.Fatalf("PCA k: local %d, remote %d", local.PCAK, remote.PCAK)
+			defer backend.Close()
+			cfg := fastCfg(21)
+			cfg.Backend = backend
+			remote, err := RunCV(ModelRF, ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st := backend.Stats()
+			if st.Dispatched == 0 {
+				t.Fatal("no task was dispatched to the workers — the backend was not used")
+			}
+			// Quiescent (RunCV returned, nothing in flight): the outcome
+			// counters must partition the dispatches exactly.
+			if st.Dispatched != st.Completed+st.Failed {
+				t.Fatalf("stats not a partition at quiescence: %+v", st)
+			}
+			if v.cfg.NoRefs && (st.RefHits != 0 || st.RefMisses != 0) {
+				t.Fatalf("values baseline still resolved references: %+v", st)
+			}
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
+						t.Fatalf("confusion[%d][%d]: local %d, remote %d — remote execution changed the result",
+							i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+					}
+				}
+			}
+			if len(local.FoldAccuracies) != len(remote.FoldAccuracies) {
+				t.Fatalf("fold counts differ: %d vs %d", len(local.FoldAccuracies), len(remote.FoldAccuracies))
+			}
+			for i := range local.FoldAccuracies {
+				if local.FoldAccuracies[i] != remote.FoldAccuracies[i] {
+					t.Fatalf("fold %d accuracy: local %x, remote %x (not bit-identical)",
+						i, local.FoldAccuracies[i], remote.FoldAccuracies[i])
+				}
+			}
+			if local.PCAK != remote.PCAK {
+				t.Fatalf("PCA k: local %d, remote %d", local.PCAK, remote.PCAK)
+			}
+		})
 	}
 }
 
@@ -85,7 +111,9 @@ func TestRemoteSurvivesWorkerKill(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	backend, err := exec.SpawnLoopback(2, 1)
+	// A small cache keeps the data plane active while ensuring resident
+	// values are routinely lost to eviction as well as to the kill below.
+	backend, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 2, Slots: 1, CacheMB: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +150,11 @@ func TestRemoteSurvivesWorkerKill(t *testing.T) {
 	}
 	if n := backend.AliveWorkers(); n != 1 {
 		t.Fatalf("AliveWorkers = %d after kill, want 1", n)
+	}
+	// Quiescent again: the kill drained attempts into Failed; nothing may be
+	// double-counted into Completed (the PR 7 partition invariant).
+	if st := backend.Stats(); st.Dispatched != st.Completed+st.Failed {
+		t.Fatalf("stats not a partition after worker kill: %+v", st)
 	}
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {

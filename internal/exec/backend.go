@@ -1,23 +1,58 @@
 package exec
 
 // Backend executes Opts.Exec-named task attempts on behalf of the compss
-// runtime. Exactly one attempt maps to exactly one Execute call: the
+// runtime. Exactly one attempt maps to exactly one ExecuteTask call: the
 // runtime's retry/deadline/fault machinery sits *above* the backend, so a
 // backend failure (worker crash, dropped connection, unknown function) is
 // just an attempt error — it surfaces as a compss.TaskError and is retried,
 // degraded or finalised by the same policies as any in-process failure.
 type Backend interface {
-	// Execute runs the registered function name with the resolved args and
-	// returns its nOut outputs. worker identifies the executing worker for
-	// observability ("" when the body ran in-process); it is advisory and
-	// carries no routing semantics.
-	Execute(name string, nOut int, args []any) (vals []any, worker string, err error)
+	// ExecuteTask runs the registered function req.Name with req.Args and
+	// returns its req.NOut outputs. worker identifies the executing worker
+	// for observability ("" when the body ran in-process); it is advisory
+	// and carries no routing semantics. The identity fields of req
+	// (Session/TaskID/ArgRefs) are optional hints for data-plane backends;
+	// a backend without a data plane ignores them.
+	ExecuteTask(req *Request) (vals []any, worker string, err error)
 	// Close releases the backend's resources (connections, spawned loopback
 	// processes). The backend must not be used after Close.
 	Close() error
 }
 
-// Local is the in-process Backend: Execute is a registry call on the
+// Request describes one task attempt handed to a Backend.
+//
+// Args always carries the fully resolved argument values — a backend can
+// execute the task from Args alone. Session/TaskID name the producing task
+// and ArgRefs name the producing tasks of the arguments; a data-plane
+// backend (Remote with references enabled) uses them to substitute wire
+// references for values the chosen worker already holds, to place the task
+// near its data, and to cache its outputs. Zero values disable all of that:
+// a Request with only Name/NOut/Args set ships values, exactly as protocol
+// 1 did.
+type Request struct {
+	Name string
+	NOut int
+	Args []any
+
+	// Session + TaskID identify this task's outputs for future reference
+	// (Session from NextSession, TaskID the runtime's task id). TaskID < 0
+	// or Session == 0 means "anonymous": outputs are not cached.
+	Session uint64
+	TaskID  int
+	// ArgRefs names the task-output provenance of arguments that are
+	// futures. Arguments not covered by an ArgRef are plain values.
+	ArgRefs []ArgRef
+}
+
+// ArgRef states that one argument (or one element of a []any argument) is
+// the Out-th output of task (Session, Task).
+type ArgRef struct {
+	Arg  int // index into Request.Args
+	Elem int // index into Args[Arg].([]any), or -1 for the argument itself
+	Ref  ValueRef
+}
+
+// Local is the in-process Backend: ExecuteTask is a registry call on the
 // caller's goroutine, with no serialization and no new allocations beyond
 // the body's own. A nil compss.Config.Backend has identical semantics — the
 // runtime special-cases it to skip even the interface dispatch — so Local
@@ -25,7 +60,14 @@ type Backend interface {
 // harnesses).
 type Local struct{}
 
-// Execute runs the named body in-process.
+// ExecuteTask runs the named body in-process.
+func (Local) ExecuteTask(req *Request) ([]any, string, error) {
+	vals, err := Invoke(req.Name, req.NOut, req.Args)
+	return vals, "", err
+}
+
+// Execute runs the named body in-process (convenience wrapper over
+// ExecuteTask for anonymous attempts).
 func (Local) Execute(name string, nOut int, args []any) ([]any, string, error) {
 	vals, err := Invoke(name, nOut, args)
 	return vals, "", err

@@ -1,0 +1,279 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"taskml/internal/mat"
+)
+
+// The worker-side future cache: task outputs (and RefValue replicas) kept
+// resident on the worker that produced or last received them, so a
+// co-located consumer receives a ValueRef instead of the serialized value.
+//
+// Correctness does not depend on the cache: a reference the worker cannot
+// resolve produces a Miss response and the coordinator re-sends the values
+// (remote.go). The cache is therefore free to evict under its byte bound
+// (plain LRU) and to vanish entirely with a crashed worker.
+//
+// # Ownership
+//
+// Registered bodies may mutate arguments they exclusively own (dsarray's
+// mat_add_to accumulates into args[0]); a cached value handed to a body
+// directly would make that mutation visible to the *next* consumer of the
+// same future. Resolution therefore clones on hit: the body always receives
+// a private copy, exactly as if the value had crossed the wire. Only types
+// with a deep-clone path are cached at all — cloneValue below knows the
+// builtin numeric kinds, *mat.Dense, and the common slice shapes; other
+// types opt in by implementing Cloner.
+
+// Cloner lets a registered argument/output type opt into the future cache.
+// CloneExecValue must return a deep copy sharing no mutable state with the
+// receiver; values whose type is neither builtin-clonable nor a Cloner are
+// simply never cached (they re-ship by value every time, which is always
+// correct).
+type Cloner interface {
+	CloneExecValue() any
+}
+
+// sessionCounter backs NextSession. Session 0 is reserved as "no session"
+// (requests with Store=false).
+var sessionCounter atomic.Uint64
+
+// NextSession returns a fresh session token. Each compss runtime draws one
+// at construction and stamps it into every request, so task ids from
+// sequential or concurrent runtimes sharing one backend can never alias in
+// a worker's cache.
+func NextSession() uint64 { return sessionCounter.Add(1) }
+
+// cacheEntry is one resident future output.
+type cacheEntry struct {
+	ref   ValueRef
+	val   any
+	bytes int64
+	elem  *list.Element
+}
+
+// futureCache is a byte-bounded LRU map from ValueRef to value. One cache
+// serves one coordinator connection (serveConn): the task-id namespace is
+// per-coordinator, so sharing a cache across connections would need
+// coordinated sessions for no benefit on this topology.
+//
+// All methods are safe for concurrent use by the Slots body goroutines of
+// the owning connection.
+type futureCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[ValueRef]*cacheEntry
+	lru      *list.List // front = most recent; values are *cacheEntry
+	evicted  []ValueRef // drained into the next response (exactly once)
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+func newFutureCache(maxBytes int64) *futureCache {
+	return &futureCache{
+		maxBytes: maxBytes,
+		entries:  map[ValueRef]*cacheEntry{},
+		lru:      list.New(),
+	}
+}
+
+// get returns a deep clone of the cached value for ref, or (nil, false) on
+// miss. The clone keeps the resident copy immutable no matter what the body
+// does to its arguments.
+func (c *futureCache) get(ref ValueRef) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[ref]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	v := e.val
+	c.mu.Unlock()
+	// Clone outside the lock: clones of large matrices are the expensive
+	// part and must not serialize the connection's other bodies.
+	cl, ok := cloneValue(v)
+	if !ok {
+		// Unclonable values are never inserted; getting here means the type
+		// lost its clone path mid-run, which cannot happen for a fixed
+		// binary. Treat as a miss for safety.
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return cl, true
+}
+
+// put inserts val under ref and returns its accounted size, evicting LRU
+// entries as needed. Values that cannot be cloned or sized, and values
+// larger than the whole cache, are rejected (returns 0, false) — the caller
+// simply doesn't report a StoredRef and the coordinator never records
+// residency.
+//
+// The inserted copy is private: put clones val, so the caller may keep
+// mutating its own copy (a body's returned output is not re-used, but a
+// RefValue replica's decoded value is handed to the body afterwards).
+func (c *futureCache) put(ref ValueRef, val any) (int64, bool) {
+	if c.maxBytes <= 0 {
+		return 0, false
+	}
+	n := sizeOfValue(val)
+	if n <= 0 || n > c.maxBytes {
+		return 0, false
+	}
+	cl, ok := cloneValue(val)
+	if !ok {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[ref]; ok {
+		// Re-insert (replay of a resent request): refresh recency, keep the
+		// existing copy. Sizes are equal by determinism; keep the old
+		// accounting either way.
+		c.lru.MoveToFront(old.elem)
+		return old.bytes, true
+	}
+	for c.bytes+n > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.ref)
+		c.bytes -= e.bytes
+		c.evicted = append(c.evicted, e.ref)
+	}
+	e := &cacheEntry{ref: ref, val: cl, bytes: n}
+	e.elem = c.lru.PushFront(e)
+	c.entries[ref] = e
+	c.bytes += n
+	return n, true
+}
+
+// drainEvicted returns the refs evicted since the last call, for
+// piggybacking on the next response. Each eviction is reported exactly
+// once.
+func (c *futureCache) drainEvicted() []ValueRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev := c.evicted
+	c.evicted = nil
+	return ev
+}
+
+// occupancy returns the current resident byte count.
+func (c *futureCache) occupancy() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// sizeOfValue estimates the resident size of a value in bytes, for the
+// cache bound and for placement scoring. 0 means "unknown" and the value is
+// not cached. The estimate covers the payload (the float data of a matrix,
+// the elements of a slice), not Go object headers — placement only needs
+// relative magnitudes.
+func sizeOfValue(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case *mat.Dense:
+		if x == nil {
+			return 0
+		}
+		return int64(len(x.Data))*8 + 16
+	case []float64:
+		return int64(len(x))*8 + 8
+	case [][]float64:
+		var n int64 = 8
+		for _, row := range x {
+			n += int64(len(row))*8 + 24
+		}
+		return n
+	case []int:
+		return int64(len(x))*8 + 8
+	case []bool:
+		return int64(len(x)) + 8
+	case []string:
+		var n int64 = 8
+		for _, s := range x {
+			n += int64(len(s)) + 16
+		}
+		return n
+	case []any:
+		var n int64 = 8
+		for _, e := range x {
+			en := sizeOfValue(e)
+			if en <= 0 {
+				return 0
+			}
+			n += en
+		}
+		return n
+	case float64, int, int64, uint64, bool:
+		return 8
+	case string:
+		return int64(len(x)) + 16
+	case Sizer:
+		return x.ExecValueBytes()
+	default:
+		return 0
+	}
+}
+
+// Sizer lets a Cloner type report its resident size; without it a Cloner
+// still clones correctly but is kept out of the cache (size unknown).
+type Sizer interface {
+	ExecValueBytes() int64
+}
+
+// cloneValue returns a deep copy of v, or ok=false when v's type has no
+// clone path. Immutable-by-convention scalars are returned as-is.
+func cloneValue(v any) (any, bool) {
+	switch x := v.(type) {
+	case nil:
+		return nil, true
+	case *mat.Dense:
+		if x == nil {
+			return (*mat.Dense)(nil), true
+		}
+		return x.Clone(), true
+	case []float64:
+		return append([]float64(nil), x...), true
+	case [][]float64:
+		out := make([][]float64, len(x))
+		for i, row := range x {
+			out[i] = append([]float64(nil), row...)
+		}
+		return out, true
+	case []int:
+		return append([]int(nil), x...), true
+	case []bool:
+		return append([]bool(nil), x...), true
+	case []string:
+		return append([]string(nil), x...), true
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			ce, ok := cloneValue(e)
+			if !ok {
+				return nil, false
+			}
+			out[i] = ce
+		}
+		return out, true
+	case float64, int, int64, uint64, bool, string:
+		return x, true
+	case Cloner:
+		return x.CloneExecValue(), true
+	default:
+		return nil, false
+	}
+}

@@ -11,22 +11,42 @@
 //   - Register / RegisterN / RegisterType build the process-global registry
 //     of named, argument-pure task bodies ("rf_bootstrap", "mat_add", ...);
 //     Has / Names / Fns / Invoke query and run it.
-//   - Backend is the two-method seam (Execute, Close); Local adapts the
-//     registry to it.
+//   - Backend is the two-method seam (ExecuteTask, Close); Local adapts the
+//     registry to it. Request carries resolved argument values plus optional
+//     identity (Session/TaskID/ArgRefs) for the data plane.
 //   - Dial / SpawnLoopback construct a *Remote coordinator; Serve and
 //     MaybeWorkerMain are the worker side; cmd/worker wraps Serve in a
 //     standalone binary. OpenBackend is the shared -backend/-peers flag
 //     logic of the cmd tools.
+//   - Cloner / Sizer let domain types opt their values into the worker
+//     future cache; NextSession mints the per-runtime cache namespace.
+//
+// # The data plane
+//
+// Protocol 2 stops re-shipping values the cluster already holds: each
+// worker connection owns a byte-bounded LRU future cache keyed by
+// ValueRef{Session, Task, Out}, task outputs are stored where they were
+// produced, and the coordinator tracks residency (advisory, folded from
+// Stored/Evicted response reports) to place each task on the worker
+// holding the most bytes of its inputs and to send resident arguments as
+// references instead of values. Cache hits hand bodies deep clones, so
+// in-place mutation by a body can never corrupt a resident value; types
+// without a clone/size path simply ship by value every time. Staleness is
+// recovered, never trusted: a worker that cannot resolve a reference
+// replies Miss without running the body and the coordinator re-sends once
+// with values inlined — eviction or a crashed cache costs one round trip,
+// not a wrong answer.
 //
 // # Concurrency and ownership
 //
 // The registry is write-at-init, read-only afterwards (Register panics on
 // duplicates so collisions surface at program start). Remote is safe for
-// concurrent Execute calls: each worker connection is multiplexed by
+// concurrent ExecuteTask calls: each worker connection is multiplexed by
 // request ID, writes are serialised per connection, and a per-worker slot
 // count bounds in-flight bodies, composing with compss.Config.Workers
 // (effective parallelism = min(Workers, Σ alive slots)). Arguments and
-// results cross the wire as gob copies, so registered bodies must be
+// results cross the wire as gob copies (or as cache clones on a reference
+// hit — equivalent by construction), so registered bodies must be
 // argument-pure — no captured state, results freshly allocated — which is
 // exactly what makes local and remote execution bit-identical. A worker
 // crash fails the in-flight attempts with an error (never the whole

@@ -106,7 +106,7 @@ func TestLocalBackend(t *testing.T) {
 // processes: scalars, matrices (bit-exact), multi-output, worker-side
 // errors, and panic containment.
 func TestLoopbackRoundtrip(t *testing.T) {
-	r, err := exec.SpawnLoopback(2, 1)
+	r, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 2, Slots: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestLoopbackRoundtrip(t *testing.T) {
 // bodies at once and that the coordinator blocks (rather than erroring)
 // when saturated.
 func TestSlotAccounting(t *testing.T) {
-	r, err := exec.SpawnLoopback(1, 2)
+	r, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 1, Slots: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestSlotAccounting(t *testing.T) {
 // (the runtime's retry layer owns what happens next), retires the worker,
 // and leaves the survivors serving.
 func TestKillWorker(t *testing.T) {
-	r, err := exec.SpawnLoopback(2, 1)
+	r, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 2, Slots: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,6 +298,36 @@ func TestKillWorker(t *testing.T) {
 	if _, _, err := r.Execute("test_add", 1, []any{1.0, 1.0}); err == nil {
 		t.Fatal("Execute with no alive workers should error")
 	}
+
+	// At quiescence the counters partition: every dispatch ended exactly
+	// once, as a completion or a connection failure — never both, never
+	// neither (the double-count bug made kills look like successes too).
+	if st := r.Stats(); st.Dispatched != st.Completed+st.Failed {
+		t.Fatalf("Stats = %+v, want Dispatched == Completed + Failed at quiescence", st)
+	}
+}
+
+// TestKillWorkerCloseRace: KillWorker racing Close must never touch a
+// process Close already reaped (run under -race in scripts/check.sh). After
+// Close wins, KillWorker reports the backend closed instead of crashing.
+func TestKillWorkerCloseRace(t *testing.T) {
+	for iter := 0; iter < 3; iter++ {
+		r, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 2, Slots: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _ = r.KillWorker(0) }()
+		go func() { defer wg.Done(); _ = r.Close() }()
+		wg.Wait()
+		if err := r.KillWorker(1); err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("KillWorker after Close = %v, want backend-closed error", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("second Close = %v", err)
+		}
+	}
 }
 
 func TestDialErrors(t *testing.T) {
@@ -313,19 +343,19 @@ func TestDialErrors(t *testing.T) {
 }
 
 func TestOpenBackend(t *testing.T) {
-	b, err := exec.OpenBackend("local", "", 2, 1)
+	b, err := exec.OpenBackend(exec.BackendOptions{Mode: "local"})
 	if err != nil || b != nil {
 		t.Fatalf("OpenBackend(local) = %v, %v; want nil backend (in-process execution)", b, err)
 	}
-	if _, err := exec.OpenBackend("bogus", "", 2, 1); err == nil {
+	if _, err := exec.OpenBackend(exec.BackendOptions{Mode: "bogus"}); err == nil {
 		t.Fatal("OpenBackend with an unknown mode should error")
 	}
-	r, err := exec.OpenBackend("remote", "", 1, 1)
+	r, err := exec.OpenBackend(exec.BackendOptions{Mode: "remote", LoopbackWorkers: 1, Slots: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if _, _, err := r.Execute("test_add", 1, []any{1.0, 2.0}); err != nil {
+	if _, _, err := r.ExecuteTask(&exec.Request{Name: "test_add", NOut: 1, Args: []any{1.0, 2.0}, TaskID: -1}); err != nil {
 		t.Fatalf("loopback backend from OpenBackend: %v", err)
 	}
 }
@@ -346,7 +376,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 // carrying a small matrix block — the per-task wire overhead a remote
 // deployment pays over in-process dispatch.
 func BenchmarkRemoteRoundtrip(b *testing.B) {
-	r, err := exec.SpawnLoopback(1, 1)
+	r, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 1, Slots: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

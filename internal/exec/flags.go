@@ -5,35 +5,59 @@ import (
 	"strings"
 )
 
-// OpenBackend interprets the cmd-line backend selection shared by the cmd
-// tools (-backend / -peers flags):
+// BackendOptions is the cmd-line backend selection shared by the cmd tools
+// (-backend / -peers / -slots / -exec-cache-mb / -exec-refs flags).
+type BackendOptions struct {
+	// Mode selects the backend: "" or "local" → nil (in-process), "remote"
+	// → Dial Peers, or SpawnLoopback when Peers is empty.
+	Mode string
+	// Peers is a comma-separated worker address list for Mode "remote".
+	Peers string
+	// LoopbackWorkers is how many workers SpawnLoopback starts when Peers
+	// is empty (default 2).
+	LoopbackWorkers int
+	// Slots is the per-worker concurrent-body count for spawned workers.
+	Slots int
+	// CacheMB bounds each spawned worker's future cache in MiB; 0 keeps the
+	// worker default (DefaultCacheBytes), <0 disables worker caching.
+	CacheMB int
+	// NoRefs disables the reference data plane coordinator-side (values
+	// baseline; see RemoteConfig.NoRefs).
+	NoRefs bool
+}
+
+// OpenBackend interprets opts:
 //
-//	mode "local" (or "")  → nil: the runtime executes everything in-process.
-//	mode "remote", peers  → Dial the comma-separated worker addresses.
-//	mode "remote", no peers → SpawnLoopback(loopbackWorkers, slots): the tool
-//	    re-execs itself as worker processes on 127.0.0.1.
+//	Mode "local" (or "")  → nil: the runtime executes everything in-process.
+//	Mode "remote", Peers  → Dial the comma-separated worker addresses.
+//	Mode "remote", no Peers → SpawnLoopback: the tool re-execs itself as
+//	    worker processes on 127.0.0.1.
 //
 // The caller owns the returned backend (Close it after Barrier); a nil
 // Backend needs no Close.
-func OpenBackend(mode, peers string, loopbackWorkers, slots int) (Backend, error) {
-	switch mode {
+func OpenBackend(opts BackendOptions) (Backend, error) {
+	switch opts.Mode {
 	case "", "local":
 		return nil, nil
 	case "remote":
-		if peers != "" {
+		if opts.Peers != "" {
 			var addrs []string
-			for _, a := range strings.Split(peers, ",") {
+			for _, a := range strings.Split(opts.Peers, ",") {
 				if a = strings.TrimSpace(a); a != "" {
 					addrs = append(addrs, a)
 				}
 			}
-			return Dial(RemoteConfig{Peers: addrs})
+			return Dial(RemoteConfig{Peers: addrs, NoRefs: opts.NoRefs})
 		}
-		if loopbackWorkers < 1 {
-			loopbackWorkers = 2
+		n := opts.LoopbackWorkers
+		if n < 1 {
+			n = 2
 		}
-		return SpawnLoopback(loopbackWorkers, slots)
+		return SpawnLoopback(LoopbackConfig{
+			Workers: n, Slots: opts.Slots,
+			CacheMB: opts.CacheMB, NoRefs: opts.NoRefs,
+		})
 	default:
-		return nil, fmt.Errorf("exec: unknown backend %q (want local or remote)", mode)
+		return nil, fmt.Errorf("exec: unknown backend %q (want local or remote)", opts.Mode)
 	}
 }

@@ -10,20 +10,37 @@ import (
 	"time"
 )
 
-// SpawnLoopback starts n copies of the current binary as worker processes
-// on 127.0.0.1 (each with the given slot count), dials them, and returns
-// the connected coordinator. It is the zero-setup distributed mode behind
-// `-backend=remote` without `-peers`: real processes, real sockets, real
-// serialization — only the network is loopback.
+// LoopbackConfig configures SpawnLoopback.
+type LoopbackConfig struct {
+	// Workers is how many worker processes to start (required, ≥ 1).
+	Workers int
+	// Slots is each worker's concurrent-body count (default 1).
+	Slots int
+	// CacheMB bounds each worker's future cache in MiB; 0 keeps the worker
+	// default (DefaultCacheBytes), <0 disables worker caching.
+	CacheMB int
+	// NoRefs disables the coordinator's reference data plane (values
+	// baseline; see RemoteConfig.NoRefs).
+	NoRefs bool
+}
+
+// SpawnLoopback starts cfg.Workers copies of the current binary as worker
+// processes on 127.0.0.1 (each with the given slot count and cache bound),
+// dials them, and returns the connected coordinator. It is the zero-setup
+// distributed mode behind `-backend=remote` without `-peers`: real
+// processes, real sockets, real serialization — only the network is
+// loopback.
 //
 // The children are re-execs of os.Executable() with TASKML_EXEC_WORKER set,
 // so they carry exactly the same registered-function table as the
 // coordinator (see MaybeWorkerMain, which every spawnable binary calls
 // first thing in main). Close kills and reaps them.
-func SpawnLoopback(n, slots int) (*Remote, error) {
+func SpawnLoopback(cfg LoopbackConfig) (*Remote, error) {
+	n := cfg.Workers
 	if n < 1 {
 		return nil, fmt.Errorf("exec: SpawnLoopback needs at least 1 worker")
 	}
+	slots := cfg.Slots
 	if slots < 1 {
 		slots = 1
 	}
@@ -46,6 +63,9 @@ func SpawnLoopback(n, slots int) (*Remote, error) {
 			workerEnvListen+"=127.0.0.1:0",
 			fmt.Sprintf("%s=%d", workerEnvSlots, slots),
 		)
+		if cfg.CacheMB != 0 {
+			cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", workerEnvCacheMB, cfg.CacheMB))
+		}
 		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -68,7 +88,7 @@ func SpawnLoopback(n, slots int) (*Remote, error) {
 		go func() { _, _ = io.Copy(io.Discard, stdout) }()
 	}
 
-	r, err := Dial(RemoteConfig{Peers: peers})
+	r, err := Dial(RemoteConfig{Peers: peers, NoRefs: cfg.NoRefs})
 	if err != nil {
 		kill()
 		return nil, err

@@ -16,17 +16,21 @@ type RemoteConfig struct {
 	Peers []string
 	// DialTimeout bounds each dial + handshake. Default 5s.
 	DialTimeout time.Duration
+	// NoRefs disables the reference data plane: every request ships full
+	// values and nothing is cached — the protocol-1 behaviour, kept as the
+	// measurable baseline for the refs-vs-values benchmark.
+	NoRefs bool
 }
 
 // Remote is the coordinator side of the out-of-process backend: it holds
-// one multiplexed gob-over-TCP connection per worker and dispatches Execute
-// calls onto them.
+// one multiplexed gob-over-TCP connection per worker and dispatches
+// ExecuteTask calls onto them.
 //
 // # Slot accounting
 //
 // Every worker advertises a slot count in its handshake (how many task
-// bodies it runs concurrently). Execute picks the least-loaded alive worker
-// with a free slot and blocks while every alive worker is saturated, so the
+// bodies it runs concurrently). ExecuteTask picks an alive worker with a
+// free slot and blocks while every alive worker is saturated, so the
 // in-flight request count per worker never exceeds its slots. This composes
 // with compss.Config.Workers, which bounds the number of attempts the
 // runtime has in flight at all: effective remote parallelism is
@@ -34,35 +38,62 @@ type RemoteConfig struct {
 // here holds a runtime worker slot — exactly as a busy in-process body
 // would.
 //
+// # Placement and the data plane
+//
+// Among the free-slot workers, placement prefers the one already holding
+// the most bytes of the request's future-valued arguments in its cache
+// (locality-aware dispatch; ties and the no-data case fall back to
+// least-loaded). Arguments the chosen worker holds travel as ValueRefs;
+// arguments it lacks travel as RefValues, seeding its cache for the next
+// consumer. The coordinator's residency map is advisory — built from the
+// Stored/Evicted reports piggybacked on responses — and a stale entry costs
+// one extra round trip, never a wrong answer: a worker that cannot resolve
+// a reference replies Miss, and the coordinator re-sends the request with
+// every value inlined (see wire.go).
+//
 // # Failure
 //
 // A connection error (worker crash, network drop) marks the worker dead,
-// fails its in-flight requests, and excludes it from further dispatch; the
-// remaining workers absorb re-dispatched retries. Remote never fails a
-// *task* — it fails attempts, and the runtime's OnTaskFailure policy
-// decides what that means.
+// fails its in-flight requests, drops its residency (the cache died with
+// the process), and excludes it from further dispatch; the remaining
+// workers absorb re-dispatched retries. Remote never fails a *task* — it
+// fails attempts, and the runtime's OnTaskFailure policy decides what that
+// means.
+//
+// # Stats invariant
+//
+// Dispatched/Completed/Failed partition outcomes exactly: every request
+// written to a connection counts Dispatched once and then exactly one of
+// Completed (a response came back, error or not) or Failed (the connection
+// died first). At quiescence Dispatched == Completed + Failed.
 type Remote struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers []*workerConn
 	closed  bool
+	noRefs  bool
 
 	nextID                        atomic.Uint64
 	dispatched, completed, failed atomic.Uint64
+	refHits, refMisses            atomic.Uint64
+	missRetries                   atomic.Uint64
+
+	cacheHook atomic.Pointer[func(CacheSample)]
 
 	procs []*os.Process // loopback-spawned workers, reaped on Close
 }
 
-// workerConn is one dialed worker. Scheduling state (alive, inflight) is
-// guarded by the owning Remote's mutex; the pending map has its own lock
-// because the reader goroutine touches it without the scheduler lock.
+// workerConn is one dialed worker. Scheduling state (alive, inflight,
+// resident) is guarded by the owning Remote's mutex; the pending map has
+// its own lock because the reader goroutine touches it without the
+// scheduler lock.
 type workerConn struct {
 	id    string
 	addr  string
 	pid   int
 	slots int
 
-	conn   net.Conn
+	conn   *countingConn
 	sendMu sync.Mutex // serialises writes to enc
 	enc    *gob.Encoder
 
@@ -72,6 +103,33 @@ type workerConn struct {
 	alive    bool
 	inflight int
 	deadErr  error
+
+	// resident mirrors the worker's future cache (ref → bytes), maintained
+	// from Stored/Evicted response reports. Advisory: used only to score
+	// placement and choose ref-vs-value wire forms; the Miss protocol
+	// corrects any staleness.
+	resident      map[ValueRef]int64
+	residentBytes int64
+}
+
+// countingConn wraps a net.Conn with atomic byte counters, giving the
+// benchmark suite exact bytes-on-wire numbers for the refs-vs-values
+// comparison.
+type countingConn struct {
+	net.Conn
+	read, written atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
 }
 
 // WorkerInfo is a point-in-time description of one dialed worker.
@@ -82,17 +140,58 @@ type WorkerInfo struct {
 	Slots    int
 	Alive    bool
 	Inflight int
+	// ResidentBytes is the coordinator's view of the worker's future-cache
+	// occupancy (advisory; see Remote's data-plane notes).
+	ResidentBytes int64
 }
 
 // RemoteStats counts dispatch outcomes across the backend's lifetime.
 type RemoteStats struct {
-	// Dispatched counts requests written to a worker connection.
+	// Dispatched counts requests written to a worker connection (including
+	// miss re-sends).
 	Dispatched uint64
-	// Completed counts responses received, including worker-side errors.
+	// Completed counts responses received, including worker-side errors and
+	// Miss replies.
 	Completed uint64
 	// Failed counts dispatches lost to connection failure (the attempt saw
-	// an error and the runtime decides whether to retry).
+	// an error and the runtime decides whether to retry). Dispatched ==
+	// Completed + Failed + in-flight, always.
 	Failed uint64
+
+	// RefHits / RefMisses count worker-side reference resolutions; a high
+	// miss share means residency is being evicted or killed faster than it
+	// is reused.
+	RefHits   uint64
+	RefMisses uint64
+	// MissRetries counts requests re-sent with values inlined after a Miss
+	// reply.
+	MissRetries uint64
+	// BytesSent / BytesRecv are exact wire totals across all worker
+	// connections (requests + handshakes, responses).
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// CacheSample is one data-plane observation delivered to the hook installed
+// with SetCacheHook: the reference-resolution outcome and cache occupancy
+// reported by one worker response.
+type CacheSample struct {
+	Worker     string // worker id (w0, w1, ...)
+	Task       int    // runtime task id, -1 for anonymous requests
+	Hits       int    // references resolved from the worker's cache
+	Misses     int    // references the worker could not resolve
+	CacheBytes int64  // the worker's cache occupancy after the request
+}
+
+// SetCacheHook installs fn to receive one CacheSample per worker response
+// that touched the data plane (nil uninstalls). The hook runs on dispatch
+// goroutines and must be cheap and non-blocking.
+func (r *Remote) SetCacheHook(fn func(CacheSample)) {
+	if fn == nil {
+		r.cacheHook.Store(nil)
+		return
+	}
+	r.cacheHook.Store(&fn)
 }
 
 // Dial connects to every peer, performs the handshake, and returns the
@@ -106,7 +205,7 @@ func Dial(cfg RemoteConfig) (*Remote, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	r := &Remote{}
+	r := &Remote{noRefs: cfg.NoRefs}
 	r.cond = sync.NewCond(&r.mu)
 	for i, addr := range cfg.Peers {
 		w, err := dialWorker(fmt.Sprintf("w%d", i), addr, timeout)
@@ -125,9 +224,10 @@ func dialWorker(id, addr string, timeout time.Duration) (*workerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: dialing worker %s at %s: %w", id, addr, err)
 	}
+	cc := &countingConn{Conn: conn}
 	var h hello
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
-	if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+	if err := gob.NewDecoder(cc).Decode(&h); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("exec: handshake with worker %s at %s: %w", id, addr, err)
 	}
@@ -142,9 +242,10 @@ func dialWorker(id, addr string, timeout time.Duration) (*workerConn, error) {
 	}
 	return &workerConn{
 		id: id, addr: addr, pid: h.Pid, slots: slots,
-		conn: conn, enc: gob.NewEncoder(conn),
-		pending: map[uint64]chan response{},
-		alive:   true,
+		conn: cc, enc: gob.NewEncoder(cc),
+		pending:  map[uint64]chan response{},
+		alive:    true,
+		resident: map[ValueRef]int64{},
 	}, nil
 }
 
@@ -169,9 +270,12 @@ func (r *Remote) readLoop(w *workerConn) {
 	}
 }
 
-// failWorker retires w: no further dispatches land on it and every pending
-// request fails with a connection error (which the runtime treats as an
-// attempt failure and may retry elsewhere).
+// failWorker retires w: no further dispatches land on it, its residency is
+// dropped (the cache died with the connection), and every pending request
+// fails with a connection error (which the runtime treats as an attempt
+// failure and may retry elsewhere). Each drained request counts Failed here
+// and is handed a connFailure response so the receive path in executeOn
+// does not also count it Completed — the counters stay a partition.
 func (r *Remote) failWorker(w *workerConn, err error) {
 	r.mu.Lock()
 	if !w.alive {
@@ -180,6 +284,8 @@ func (r *Remote) failWorker(w *workerConn, err error) {
 	}
 	w.alive = false
 	w.deadErr = err
+	w.resident = map[ValueRef]int64{}
+	w.residentBytes = 0
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	w.conn.Close()
@@ -190,13 +296,18 @@ func (r *Remote) failWorker(w *workerConn, err error) {
 	w.pendMu.Unlock()
 	for _, ch := range drained {
 		r.failed.Add(1)
-		ch <- response{Err: fmt.Sprintf("worker %s (%s): %v", w.id, w.addr, err)}
+		ch <- response{Err: fmt.Sprintf("worker %s (%s): %v", w.id, w.addr, err), connFailure: true}
 	}
 }
 
-// acquire blocks until an alive worker has a free slot and reserves one on
-// the least-loaded such worker. It errors once no worker is alive.
-func (r *Remote) acquire() (*workerConn, error) {
+// acquire blocks until an alive worker has a free slot and reserves one.
+// Placement is locality-aware: among free-slot workers it picks the one
+// holding the most resident bytes of refs (the request's future-valued
+// inputs), breaking ties — and the nothing-resident case — by least load.
+// Saturated workers are never waited on for locality: a busy data-holder
+// must not stall dispatch when an idle worker can run the task from shipped
+// values. It errors once no worker is alive.
+func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -204,6 +315,7 @@ func (r *Remote) acquire() (*workerConn, error) {
 			return nil, fmt.Errorf("exec: backend is closed")
 		}
 		var best *workerConn
+		var bestScore int64 = -1
 		anyAlive := false
 		for _, w := range r.workers {
 			if !w.alive {
@@ -213,8 +325,13 @@ func (r *Remote) acquire() (*workerConn, error) {
 			if w.inflight >= w.slots {
 				continue
 			}
-			if best == nil || w.inflight < best.inflight {
-				best = w
+			var score int64
+			for _, ref := range refs {
+				score += w.resident[ref]
+			}
+			if best == nil || score > bestScore ||
+				(score == bestScore && w.inflight < best.inflight) {
+				best, bestScore = w, score
 			}
 		}
 		if !anyAlive {
@@ -235,15 +352,69 @@ func (r *Remote) release(w *workerConn) {
 	r.mu.Unlock()
 }
 
-// Execute ships one attempt to a worker: reserve a slot, gob the request
-// out, await the multiplexed response. The returned worker id labels the
-// attempt in traces.
+// Execute ships one anonymous attempt (no task identity, so no caching and
+// no locality) — the protocol-1 surface, kept for direct callers and tests.
 func (r *Remote) Execute(name string, nOut int, args []any) ([]any, string, error) {
-	w, err := r.acquire()
+	return r.ExecuteTask(&Request{Name: name, NOut: nOut, Args: args, TaskID: -1})
+}
+
+// ExecuteTask ships one attempt to a worker: choose a worker near the
+// request's data, reserve a slot, gob the request out (references for
+// resident arguments, values seeding the cache for the rest), await the
+// multiplexed response, and re-send with values inlined if the worker
+// reported unresolvable references. The returned worker id labels the
+// attempt in traces.
+func (r *Remote) ExecuteTask(req *Request) ([]any, string, error) {
+	useRefs := !r.noRefs && req.Session != 0
+	var refs []ValueRef
+	if useRefs {
+		refs = make([]ValueRef, len(req.ArgRefs))
+		for i, ar := range req.ArgRefs {
+			refs[i] = ar.Ref
+		}
+	}
+	w, err := r.acquire(refs)
 	if err != nil {
 		return nil, "", err
 	}
 	defer r.release(w)
+
+	resp, err := r.executeOn(w, req, useRefs, false)
+	if err != nil {
+		return nil, w.id, err
+	}
+	if len(resp.Miss) > 0 {
+		// The worker lacked references the residency map promised (evicted
+		// or raced); re-send on the same reserved slot with every value
+		// inlined. The inlined form cannot miss.
+		r.missRetries.Add(1)
+		resp, err = r.executeOn(w, req, useRefs, true)
+		if err != nil {
+			return nil, w.id, err
+		}
+		if len(resp.Miss) > 0 {
+			return nil, w.id, fmt.Errorf("exec: worker %s reported misses for fully inlined %s", w.id, req.Name)
+		}
+	}
+	if resp.Err != "" {
+		return nil, w.id, fmt.Errorf("exec: %s: %s", req.Name, resp.Err)
+	}
+	if len(resp.Vals) != req.NOut {
+		return nil, w.id, fmt.Errorf("exec: worker %s returned %d values for %s, want %d", w.id, len(resp.Vals), req.Name, req.NOut)
+	}
+	return resp.Vals, w.id, nil
+}
+
+// executeOn performs one wire round trip on an already-reserved worker
+// slot. inlineAll forces every reference to travel as a RefValue (the
+// post-Miss form).
+func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool) (response, error) {
+	wireArgs := req.Args
+	store := false
+	if useRefs {
+		wireArgs = r.buildWireArgs(w, req, inlineAll)
+		store = req.TaskID >= 0
+	}
 
 	id := r.nextID.Add(1)
 	ch := make(chan response, 1)
@@ -251,30 +422,131 @@ func (r *Remote) Execute(name string, nOut int, args []any) ([]any, string, erro
 	w.pending[id] = ch
 	w.pendMu.Unlock()
 
+	// Dispatched counts every send *attempt* before its outcome is known,
+	// so a failed encode still satisfies Dispatched == Completed + Failed.
+	r.dispatched.Add(1)
 	w.sendMu.Lock()
-	err = w.enc.Encode(&request{ID: id, Name: name, NOut: nOut, Args: args})
+	err := w.enc.Encode(&request{
+		ID: id, Name: req.Name, NOut: req.NOut, Args: wireArgs,
+		Session: req.Session, Task: req.TaskID, Store: store,
+	})
 	w.sendMu.Unlock()
 	if err != nil {
 		// A gob encode error corrupts the stream state either way; retire
-		// the connection. failWorker completes ch for us if the request
-		// registered before the failure drained the map.
-		r.failWorker(w, fmt.Errorf("sending %s: %w", name, err))
+		// the connection. Whoever removes the pending entry owns the Failed
+		// count: if our delete finds the entry, failWorker hadn't drained it
+		// (it swapped the map before we registered, or races behind us) and
+		// we count the failure; if the entry is gone, failWorker counted it.
+		r.failWorker(w, fmt.Errorf("sending %s: %w", req.Name, err))
 		w.pendMu.Lock()
+		_, mine := w.pending[id]
 		delete(w.pending, id)
 		w.pendMu.Unlock()
-		return nil, w.id, fmt.Errorf("exec: worker %s (%s): sending %s: %w", w.id, w.addr, name, err)
+		if mine {
+			r.failed.Add(1)
+		}
+		return response{}, fmt.Errorf("exec: worker %s (%s): sending %s: %w", w.id, w.addr, req.Name, err)
 	}
-	r.dispatched.Add(1)
 
 	resp := <-ch
+	if resp.connFailure {
+		// Fabricated by failWorker, already counted Failed; a drained
+		// request is not a completed one.
+		return response{}, fmt.Errorf("exec: %s: %s", req.Name, resp.Err)
+	}
 	r.completed.Add(1)
-	if resp.Err != "" {
-		return nil, w.id, fmt.Errorf("exec: %s: %s", name, resp.Err)
+	r.applyResidency(w, &resp)
+	r.refHits.Add(uint64(resp.RefHits))
+	r.refMisses.Add(uint64(resp.RefMisses))
+	if hook := r.cacheHook.Load(); hook != nil && useRefs {
+		task := req.TaskID
+		if !store {
+			task = -1
+		}
+		(*hook)(CacheSample{
+			Worker: w.id, Task: task,
+			Hits: resp.RefHits, Misses: resp.RefMisses,
+			CacheBytes: resp.CacheBytes,
+		})
 	}
-	if len(resp.Vals) != nOut {
-		return nil, w.id, fmt.Errorf("exec: worker %s returned %d values for %s, want %d", w.id, len(resp.Vals), name, nOut)
+	return resp, nil
+}
+
+// buildWireArgs maps req.Args to their wire form for worker w: an argument
+// (or []any element) named by an ArgRef travels as a ValueRef when w is
+// believed to hold it and as a cache-seeding RefValue otherwise; everything
+// else travels by value. The input slices are never mutated — the runtime
+// owns req.Args.
+func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []any {
+	if len(req.ArgRefs) == 0 {
+		return req.Args
 	}
-	return resp.Vals, w.id, nil
+	r.mu.Lock()
+	resident := make([]bool, len(req.ArgRefs))
+	if !inlineAll && w.alive {
+		for i, ar := range req.ArgRefs {
+			_, resident[i] = w.resident[ar.Ref]
+		}
+	}
+	r.mu.Unlock()
+
+	out := append([]any(nil), req.Args...)
+	cloned := map[int]bool{} // []any args copied-on-write for Elem substitution
+	for i, ar := range req.ArgRefs {
+		if ar.Arg < 0 || ar.Arg >= len(out) {
+			continue
+		}
+		var val any
+		if ar.Elem < 0 {
+			val = out[ar.Arg]
+		} else {
+			inner, ok := out[ar.Arg].([]any)
+			if !ok || ar.Elem >= len(inner) {
+				continue
+			}
+			val = inner[ar.Elem]
+		}
+		var wire any
+		if resident[i] {
+			wire = ar.Ref
+		} else {
+			wire = RefValue{Ref: ar.Ref, Val: val}
+		}
+		if ar.Elem < 0 {
+			out[ar.Arg] = wire
+		} else {
+			if !cloned[ar.Arg] {
+				out[ar.Arg] = append([]any(nil), out[ar.Arg].([]any)...)
+				cloned[ar.Arg] = true
+			}
+			out[ar.Arg].([]any)[ar.Elem] = wire
+		}
+	}
+	return out
+}
+
+// applyResidency folds one response's Stored/Evicted reports into the
+// coordinator's view of w's cache.
+func (r *Remote) applyResidency(w *workerConn, resp *response) {
+	if len(resp.Stored) == 0 && len(resp.Evicted) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if w.alive {
+		for _, ev := range resp.Evicted {
+			if n, ok := w.resident[ev]; ok {
+				delete(w.resident, ev)
+				w.residentBytes -= n
+			}
+		}
+		for _, st := range resp.Stored {
+			if _, ok := w.resident[st.Ref]; !ok {
+				w.residentBytes += st.Bytes
+			}
+			w.resident[st.Ref] = st.Bytes
+		}
+	}
+	r.mu.Unlock()
 }
 
 // Workers returns a snapshot of the dialed workers.
@@ -286,6 +558,7 @@ func (r *Remote) Workers() []WorkerInfo {
 		out[i] = WorkerInfo{
 			ID: w.id, Addr: w.addr, Pid: w.pid, Slots: w.slots,
 			Alive: w.alive, Inflight: w.inflight,
+			ResidentBytes: w.residentBytes,
 		}
 	}
 	return out
@@ -306,33 +579,45 @@ func (r *Remote) AliveWorkers() int {
 
 // Stats returns cumulative dispatch counters.
 func (r *Remote) Stats() RemoteStats {
-	return RemoteStats{
-		Dispatched: r.dispatched.Load(),
-		Completed:  r.completed.Load(),
-		Failed:     r.failed.Load(),
+	st := RemoteStats{
+		Dispatched:  r.dispatched.Load(),
+		Completed:   r.completed.Load(),
+		Failed:      r.failed.Load(),
+		RefHits:     r.refHits.Load(),
+		RefMisses:   r.refMisses.Load(),
+		MissRetries: r.missRetries.Load(),
 	}
+	r.mu.Lock()
+	for _, w := range r.workers {
+		st.BytesSent += uint64(w.conn.written.Load())
+		st.BytesRecv += uint64(w.conn.read.Load())
+	}
+	r.mu.Unlock()
+	return st
 }
 
 // KillWorker forcibly terminates loopback worker i (SIGKILL) — the
 // fault-injection hook for crash-recovery tests. The death is observed the
 // same way a real crash would be: the connection drops, in-flight attempts
 // fail, and the worker is retired. It errors for workers Remote did not
-// spawn (it has no authority over processes it only dialed).
+// spawn (it has no authority over processes it only dialed). The kill runs
+// under r.mu so it cannot race Close's reap of the same process (Kill
+// after Wait on a reaped process is a use-after-free of the pid).
 func (r *Remote) KillWorker(i int) error {
 	r.mu.Lock()
-	var proc *os.Process
-	if i >= 0 && i < len(r.procs) {
-		proc = r.procs[i]
-	}
-	r.mu.Unlock()
-	if proc == nil {
+	defer r.mu.Unlock()
+	if r.closed || i < 0 || i >= len(r.procs) || r.procs[i] == nil {
+		if r.closed {
+			return fmt.Errorf("exec: backend is closed")
+		}
 		return fmt.Errorf("exec: worker %d was not spawned by this coordinator", i)
 	}
-	return proc.Kill()
+	return r.procs[i].Kill()
 }
 
 // Close retires every worker, fails pending requests, and reaps loopback
-// processes.
+// processes. The proc list is tombstoned under r.mu before reaping so a
+// concurrent KillWorker can never touch a reaped process.
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -341,7 +626,8 @@ func (r *Remote) Close() error {
 	}
 	r.closed = true
 	workers := append([]*workerConn(nil), r.workers...)
-	procs := append([]*os.Process(nil), r.procs...)
+	procs := r.procs
+	r.procs = nil
 	r.cond.Broadcast()
 	r.mu.Unlock()
 

@@ -1,5 +1,7 @@
 package exec
 
+import "encoding/gob"
+
 // The wire format: length-free gob streams over one TCP connection per
 // worker, multiplexed by request ID.
 //
@@ -17,11 +19,25 @@ package exec
 // same packages. Payloads are freshly allocated by gob on decode — a wire
 // hop never aliases pooled scratch, satisfying the mat.Pool ownership
 // contract (DESIGN.md "Memory model") by construction.
+//
+// # References (protocol 2)
+//
+// Protocol 2 adds the data plane: an argument may travel as a ValueRef —
+// the *identity* of a task output the worker already holds in its future
+// cache — or as a RefValue — the value plus its identity, which the worker
+// inserts into the cache so the next consumer placed there sends only the
+// reference. The worker never trusts the coordinator's residency view: a
+// request naming a reference it cannot resolve (evicted, crashed cache) is
+// answered with response.Miss and no execution; the coordinator re-sends
+// with every reference inlined, so a stale residency map can cost a round
+// trip but never an answer.
 
 // protoVersion guards against dialing a worker built from an incompatible
 // checkout; the coordinator rejects a mismatched hello instead of
-// mis-decoding task payloads.
-const protoVersion = 1
+// mis-decoding task payloads. Version 2 added the reference wire forms
+// (ValueRef, RefValue) and the cache bookkeeping fields of request and
+// response.
+const protoVersion = 2
 
 // hello is the worker → coordinator handshake frame.
 type hello struct {
@@ -30,12 +46,50 @@ type hello struct {
 	Slots int // concurrent task bodies the worker will run
 }
 
+// ValueRef names one output of a task executed earlier: (session, task,
+// output index). Sessions are per-coordinator-runtime counters (see
+// NextSession), so cache keys never collide across runtimes sharing one
+// backend. A ValueRef travels in request.Args in place of the value when
+// the coordinator believes the worker holds it.
+type ValueRef struct {
+	Session uint64
+	Task    int
+	Out     int
+}
+
+// RefValue is a value traveling *with* its identity: the worker uses the
+// value for this request and inserts a private copy into its future cache
+// under Ref, making the value resident there for future reference-only
+// requests (this is how a value gets replicated to a second worker, and how
+// the first consumer of a coordinator-produced value seeds the cache).
+type RefValue struct {
+	Ref ValueRef
+	Val any
+}
+
+// StoredRef reports one cache insertion back to the coordinator, which
+// records residency (Bytes feeds placement scoring).
+type StoredRef struct {
+	Ref   ValueRef
+	Bytes int64
+}
+
 // request is one coordinator → worker task dispatch.
 type request struct {
 	ID   uint64 // multiplexing key, unique per connection
 	Name string // registered function name
 	NOut int    // declared output arity (validated worker-side)
-	Args []any  // resolved arguments; concrete types must be registered
+	// Args are the resolved arguments; concrete types must be registered.
+	// Under protocol 2 an element (or an element of a nested []any) may be
+	// a ValueRef or RefValue instead of a plain value.
+	Args []any
+	// Session + Task identify the producing task; the worker caches the
+	// outputs under this identity when Store is set. Store is false when
+	// references are disabled (values-baseline mode) or the task id is
+	// unknown (direct Execute calls).
+	Session uint64
+	Task    int
+	Store   bool
 }
 
 // response is the worker's reply to one request. Err is a string — error
@@ -45,4 +99,37 @@ type response struct {
 	ID   uint64
 	Vals []any
 	Err  string
+
+	// Miss lists references the worker could not resolve; when non-empty
+	// the body did NOT run and Vals is nil — the coordinator must re-send
+	// with the missing values inlined. The miss path is the correctness
+	// backstop for every residency race (eviction, crash, stale map).
+	Miss []ValueRef
+	// Stored lists cache insertions this request performed (task outputs
+	// and RefValue replicas); Evicted lists entries the insertions pushed
+	// out. Together they keep the coordinator's residency map eventually
+	// consistent with the worker's cache — advisory only, Miss is the
+	// guarantee.
+	Stored  []StoredRef
+	Evicted []ValueRef
+	// CacheBytes is the worker cache occupancy after this request, and
+	// RefHits/RefMisses count the reference resolutions it performed; both
+	// feed RemoteStats and the trace's data-plane track.
+	CacheBytes int64
+	RefHits    int
+	RefMisses  int
+
+	// connFailure marks a response fabricated by the coordinator's
+	// failWorker when a connection died — not a reply received from a
+	// worker. Unexported: gob never encodes it, so wire responses always
+	// carry false. It keeps the stats partition exact (a drained failure is
+	// counted in Failed, never also in Completed).
+	connFailure bool
+}
+
+func init() {
+	// Reference wire forms travel inside []any and must be registered like
+	// any other argument type.
+	gob.Register(ValueRef{})
+	gob.Register(RefValue{})
 }

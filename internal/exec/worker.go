@@ -18,14 +18,24 @@ type WorkerConfig struct {
 	// dislib-like configuration of one serial body per worker process, with
 	// parallelism coming from many workers.
 	Slots int
+	// CacheBytes bounds the per-connection future cache (see cache.go).
+	// Default DefaultCacheBytes; <0 disables caching (0 means default).
+	CacheBytes int64
 	// Log receives human-readable progress lines; nil discards them.
 	Log io.Writer
 }
 
+// DefaultCacheBytes is the future-cache bound applied when WorkerConfig
+// leaves CacheBytes zero: large enough to hold every block of the
+// experiment workloads, small enough to be irrelevant next to the data
+// itself.
+const DefaultCacheBytes = 256 << 20
+
 // Serve runs the worker loop on an accepted listener until the listener
 // closes: accept coordinator connections, send the handshake, execute
 // registered functions, reply. Each connection is independent (a worker can
-// serve several coordinators); within a connection requests run
+// serve several coordinators) and owns a private future cache — the task-id
+// namespace is per-coordinator; within a connection requests run
 // concurrently, bounded by Slots.
 //
 // The worker caps the kernel layer at par.SetLimit(1): its parallelism
@@ -36,23 +46,27 @@ func Serve(l net.Listener, cfg WorkerConfig) error {
 	if slots < 1 {
 		slots = 1
 	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
 	logw := cfg.Log
 	if logw == nil {
 		logw = io.Discard
 	}
 	par.SetLimit(1)
-	fmt.Fprintf(logw, "worker: pid %d serving %d registered functions on %s (%d slots)\n",
-		os.Getpid(), len(Names()), l.Addr(), slots)
+	fmt.Fprintf(logw, "worker: pid %d serving %d registered functions on %s (%d slots, %d MB cache)\n",
+		os.Getpid(), len(Names()), l.Addr(), slots, cacheBytes>>20)
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, slots, logw)
+		go serveConn(conn, slots, cacheBytes, logw)
 	}
 }
 
-func serveConn(conn net.Conn, slots int, logw io.Writer) {
+func serveConn(conn net.Conn, slots int, cacheBytes int64, logw io.Writer) {
 	defer conn.Close()
 	var sendMu sync.Mutex
 	enc := gob.NewEncoder(conn)
@@ -60,6 +74,7 @@ func serveConn(conn net.Conn, slots int, logw io.Writer) {
 		fmt.Fprintf(logw, "worker: handshake: %v\n", err)
 		return
 	}
+	cache := newFutureCache(cacheBytes)
 	sem := make(chan struct{}, slots)
 	dec := gob.NewDecoder(conn)
 	for {
@@ -73,7 +88,12 @@ func serveConn(conn net.Conn, slots int, logw io.Writer) {
 		sem <- struct{}{}
 		go func(req request) {
 			defer func() { <-sem }()
-			resp := handle(req)
+			resp := handle(req, cache)
+			// Eviction reports ride on whichever response is next; draining
+			// immediately before the send keeps each eviction reported
+			// exactly once and at most one response late.
+			resp.Evicted = cache.drainEvicted()
+			resp.CacheBytes = cache.occupancy()
 			sendMu.Lock()
 			err := enc.Encode(&resp)
 			sendMu.Unlock()
@@ -84,10 +104,56 @@ func serveConn(conn net.Conn, slots int, logw io.Writer) {
 	}
 }
 
+// resolveArgs walks the request arguments replacing wire references with
+// values: a ValueRef is looked up in the cache (the hit hands the body a
+// private clone), a RefValue contributes its inline value and seeds the
+// cache under its identity. Nested references inside a []any argument (the
+// wire form of a []*Future parameter) resolve the same way.
+//
+// When any ValueRef misses, resolution fails as a whole: the returned miss
+// list is non-empty, and the caller must not run the body. Stored
+// insertions performed before the miss was discovered are still real (and
+// still reported) — the resent request will find them resident.
+func resolveArgs(args []any, cache *futureCache) (resolved []any, miss []ValueRef, stored []StoredRef, hits, misses int) {
+	var resolveOne func(v any) any
+	resolveOne = func(v any) any {
+		switch x := v.(type) {
+		case ValueRef:
+			if val, ok := cache.get(x); ok {
+				hits++
+				return val
+			}
+			misses++
+			miss = append(miss, x)
+			return nil
+		case RefValue:
+			if n, ok := cache.put(x.Ref, x.Val); ok {
+				stored = append(stored, StoredRef{Ref: x.Ref, Bytes: n})
+			}
+			return x.Val
+		case []any:
+			out := make([]any, len(x))
+			for i, e := range x {
+				out[i] = resolveOne(e)
+			}
+			return out
+		default:
+			return v
+		}
+	}
+	resolved = make([]any, len(args))
+	for i, a := range args {
+		resolved[i] = resolveOne(a)
+	}
+	return resolved, miss, stored, hits, misses
+}
+
 // handle executes one request with panic containment: a panicking body
 // fails its request, not the worker process, mirroring the in-process
-// runtime's panic→error conversion.
-func handle(req request) (resp response) {
+// runtime's panic→error conversion. Reference arguments are resolved
+// against the connection's future cache first; an unresolvable reference
+// turns the request into a Miss reply without running the body.
+func handle(req request, cache *futureCache) (resp response) {
 	resp.ID = req.ID
 	defer func() {
 		if r := recover(); r != nil {
@@ -95,10 +161,26 @@ func handle(req request) (resp response) {
 			resp.Err = fmt.Sprintf("%s: panic: %v", req.Name, r)
 		}
 	}()
-	vals, err := Invoke(req.Name, req.NOut, req.Args)
+	args, miss, stored, hits, misses := resolveArgs(req.Args, cache)
+	resp.Stored = stored
+	resp.RefHits = hits
+	resp.RefMisses = misses
+	if len(miss) > 0 {
+		resp.Miss = miss
+		return resp
+	}
+	vals, err := Invoke(req.Name, req.NOut, args)
 	if err != nil {
 		resp.Err = err.Error()
 		return resp
+	}
+	if req.Store {
+		for i, v := range vals {
+			ref := ValueRef{Session: req.Session, Task: req.Task, Out: i}
+			if n, ok := cache.put(ref, v); ok {
+				resp.Stored = append(resp.Stored, StoredRef{Ref: ref, Bytes: n})
+			}
+		}
 	}
 	resp.Vals = vals
 	return resp
@@ -108,8 +190,9 @@ func handle(req request) (resp response) {
 // workerEnvListen is set, MaybeWorkerMain turns the current process into a
 // worker instead of running its normal main.
 const (
-	workerEnvListen = "TASKML_EXEC_WORKER"
-	workerEnvSlots  = "TASKML_EXEC_SLOTS"
+	workerEnvListen  = "TASKML_EXEC_WORKER"
+	workerEnvSlots   = "TASKML_EXEC_SLOTS"
+	workerEnvCacheMB = "TASKML_EXEC_CACHE_MB"
 	// workerReadyPrefix is the machine-readable first stdout line carrying
 	// the bound address back to the spawning coordinator.
 	workerReadyPrefix = "TASKML_WORKER_LISTENING "
@@ -132,13 +215,23 @@ func MaybeWorkerMain() {
 			slots = n
 		}
 	}
+	var cacheBytes int64
+	if s := os.Getenv(workerEnvCacheMB); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			if n <= 0 {
+				cacheBytes = -1 // caching disabled
+			} else {
+				cacheBytes = int64(n) << 20
+			}
+		}
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker: listen %s: %v\n", addr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s%s\n", workerReadyPrefix, l.Addr())
-	err = Serve(l, WorkerConfig{Slots: slots, Log: os.Stderr})
+	err = Serve(l, WorkerConfig{Slots: slots, CacheBytes: cacheBytes, Log: os.Stderr})
 	fmt.Fprintf(os.Stderr, "worker: %v\n", err)
 	os.Exit(1)
 }

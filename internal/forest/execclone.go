@@ -1,0 +1,79 @@
+package forest
+
+// Future-cache participation (see internal/exec cache.go): the forest wire
+// types opt into worker-side caching by providing deep clones and resident
+// sizes. TrainSet is the payoff — every rf_bootstrap of an estimator
+// consumes the same gathered TrainSet, so a cached copy on the worker that
+// ran rf_gather turns N full-dataset transfers into N references.
+//
+// CloneExecValue must not share mutable state with the receiver: the cache
+// hands bodies clones precisely so a mutating body cannot corrupt the
+// resident copy.
+
+// CloneExecValue returns a deep copy (matrix data and label slice owned by
+// the copy).
+func (t *TrainSet) CloneExecValue() any {
+	if t == nil {
+		return (*TrainSet)(nil)
+	}
+	out := &TrainSet{Y: append([]int(nil), t.Y...)}
+	if t.X != nil {
+		out.X = t.X.Clone()
+	}
+	return out
+}
+
+// ExecValueBytes reports the resident payload size.
+func (t *TrainSet) ExecValueBytes() int64 {
+	if t == nil {
+		return 8
+	}
+	n := int64(len(t.Y))*8 + 32
+	if t.X != nil {
+		n += int64(len(t.X.Data)) * 8
+	}
+	return n
+}
+
+// CloneExecValue returns a deep copy of the subtree rooted here.
+func (n *Node) CloneExecValue() any { return n.cloneTree() }
+
+func (n *Node) cloneTree() *Node {
+	if n == nil {
+		return nil
+	}
+	return &Node{
+		Leaf:    n.Leaf,
+		Probs:   append([]float64(nil), n.Probs...),
+		Feature: n.Feature, Threshold: n.Threshold,
+		Left: n.Left.cloneTree(), Right: n.Right.cloneTree(),
+	}
+}
+
+// ExecValueBytes reports the resident payload size of the subtree.
+func (n *Node) ExecValueBytes() int64 {
+	if n == nil {
+		return 8
+	}
+	return 64 + int64(len(n.Probs))*8 + n.Left.ExecValueBytes() + n.Right.ExecValueBytes()
+}
+
+// CloneExecValue returns a deep copy (leaf subtree and index slices owned
+// by the copy).
+func (s *SplitOut) CloneExecValue() any {
+	if s == nil {
+		return (*SplitOut)(nil)
+	}
+	out := &SplitOut{Leaf: s.Leaf.cloneTree(), Split: s.Split}
+	out.Split.Left = append([]int(nil), s.Split.Left...)
+	out.Split.Right = append([]int(nil), s.Split.Right...)
+	return out
+}
+
+// ExecValueBytes reports the resident payload size.
+func (s *SplitOut) ExecValueBytes() int64 {
+	if s == nil {
+		return 8
+	}
+	return 64 + int64(len(s.Split.Left)+len(s.Split.Right))*8 + s.Leaf.ExecValueBytes()
+}

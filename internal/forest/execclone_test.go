@@ -1,0 +1,61 @@
+package forest
+
+import (
+	"testing"
+
+	"taskml/internal/mat"
+)
+
+// The exec future cache relies on CloneExecValue returning copies that
+// share no mutable state: a cached TrainSet scribbled on by one body must
+// not leak into the next consumer's clone.
+func TestTrainSetCloneIsolation(t *testing.T) {
+	x := mat.New(2, 2)
+	x.Data[0] = 1
+	ts := &TrainSet{X: x, Y: []int{0, 1}}
+	if ts.ExecValueBytes() <= 0 {
+		t.Fatal("TrainSet size must be positive (else never cached)")
+	}
+	cl := ts.CloneExecValue().(*TrainSet)
+	cl.X.Data[0] = 99
+	cl.Y[0] = 99
+	if ts.X.Data[0] != 1 || ts.Y[0] != 0 {
+		t.Fatalf("clone shares memory: X[0]=%v Y[0]=%d", ts.X.Data[0], ts.Y[0])
+	}
+}
+
+func TestNodeCloneDeep(t *testing.T) {
+	n := &Node{
+		Feature: 1, Threshold: 0.5,
+		Left:  &Node{Leaf: true, Probs: []float64{0.2, 0.8}},
+		Right: &Node{Leaf: true, Probs: []float64{0.9, 0.1}},
+	}
+	if n.ExecValueBytes() <= 0 {
+		t.Fatal("Node size must be positive")
+	}
+	cl := n.CloneExecValue().(*Node)
+	cl.Left.Probs[0] = 99
+	cl.Right = nil
+	if n.Left.Probs[0] != 0.2 || n.Right == nil {
+		t.Fatal("subtree clone shares memory with original")
+	}
+}
+
+func TestSplitOutCloneDeep(t *testing.T) {
+	s := &SplitOut{Split: Split{Found: true, Left: []int{1, 2}, Right: []int{3}}}
+	if s.ExecValueBytes() <= 0 {
+		t.Fatal("SplitOut size must be positive")
+	}
+	cl := s.CloneExecValue().(*SplitOut)
+	cl.Split.Left[0] = 99
+	if s.Split.Left[0] != 1 {
+		t.Fatal("SplitOut clone shares index slices")
+	}
+
+	leaf := &SplitOut{Leaf: &Node{Leaf: true, Probs: []float64{1}}}
+	lcl := leaf.CloneExecValue().(*SplitOut)
+	lcl.Leaf.Probs[0] = 0
+	if leaf.Leaf.Probs[0] != 1 {
+		t.Fatal("SplitOut clone shares the leaf node")
+	}
+}

@@ -4,16 +4,32 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"taskml/internal/compss"
+	"taskml/internal/exec"
 )
 
 // Collector is the lock-cheap in-memory Observer sink: every hook appends
 // the event to a mutex-guarded buffer and returns. All rendering cost is
 // deferred to Chrome(), which runs after the workflow finished.
+//
+// Beyond the Observer hooks it accepts exec data-plane samples (cache
+// hit/miss outcomes and occupancy per worker response) via AddCacheSample —
+// wire it with exec.Remote.SetCacheHook(collector.AddCacheSample) — and
+// renders them as extra trace rows alongside the task slices.
 type Collector struct {
-	mu     sync.Mutex
-	events []compss.Event
+	mu      sync.Mutex
+	events  []compss.Event
+	samples []CacheSample
+}
+
+// CacheSample is one exec data-plane observation plus its arrival time (the
+// Collector stamps Time on delivery, putting cache activity on the same
+// clock as the Observer events).
+type CacheSample struct {
+	Time time.Time
+	exec.CacheSample
 }
 
 // NewCollector returns an empty collector; attach it via
@@ -36,6 +52,16 @@ func (c *Collector) OnRetry(ev compss.Event)     { c.add(ev) }
 func (c *Collector) OnFailure(ev compss.Event)   { c.add(ev) }
 func (c *Collector) OnDegrade(ev compss.Event)   { c.add(ev) }
 
+// AddCacheSample records one exec data-plane observation, stamped with the
+// arrival time. It is shaped to be installed directly as an
+// exec.Remote cache hook and is safe for concurrent use.
+func (c *Collector) AddCacheSample(s exec.CacheSample) {
+	ts := CacheSample{Time: time.Now(), CacheSample: s}
+	c.mu.Lock()
+	c.samples = append(c.samples, ts)
+	c.mu.Unlock()
+}
+
 // Events returns a snapshot of the collected events in arrival order.
 func (c *Collector) Events() []compss.Event {
 	c.mu.Lock()
@@ -45,8 +71,19 @@ func (c *Collector) Events() []compss.Event {
 	return out
 }
 
-// Chrome renders the collected events; shorthand for Chrome(c.Events()).
-func (c *Collector) Chrome() *Trace { return Chrome(c.Events()) }
+// CacheSamples returns a snapshot of the collected data-plane samples in
+// arrival order.
+func (c *Collector) CacheSamples() []CacheSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheSample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// Chrome renders the collected events (and any data-plane samples);
+// shorthand for ChromeCache(c.Events(), c.CacheSamples()).
+func (c *Collector) Chrome() *Trace { return ChromeCache(c.Events(), c.CacheSamples()) }
 
 // attemptKey identifies one executed attempt of one task.
 type attemptKey struct {
@@ -96,16 +133,42 @@ type sortable struct {
 //     never ran because a dependency failed;
 //   - counter tracks "ready" (tasks runnable but not yet started) and
 //     "workers" (attempts executing), sampled at every transition.
-func Chrome(events []compss.Event) *Trace {
+func Chrome(events []compss.Event) *Trace { return ChromeCache(events, nil) }
+
+// ChromeCache renders a runtime event stream plus exec data-plane samples.
+// With no samples it is exactly Chrome (the golden trace is unchanged);
+// with samples it adds a second trace process ("exec data plane") holding
+// one instant row per remote worker (cache hit / miss markers) and a
+// "resident bytes" counter track with one series per worker — the
+// re-shipping a reduction tree avoids (or pays) is visible directly in the
+// viewer.
+func ChromeCache(events []compss.Event, samples []CacheSample) *Trace {
 	t := &Trace{}
-	if len(events) == 0 {
+	if len(events) == 0 && len(samples) == 0 {
 		return t
 	}
-	origin := events[0].Time
-	for _, ev := range events[1:] {
-		if ev.Time.Before(origin) {
-			origin = ev.Time
+	var origin time.Time
+	haveOrigin := false
+	for _, ev := range events {
+		if !haveOrigin || ev.Time.Before(origin) {
+			origin, haveOrigin = ev.Time, true
 		}
+	}
+	for _, s := range samples {
+		if !haveOrigin || s.Time.Before(origin) {
+			origin, haveOrigin = s.Time, true
+		}
+	}
+	renderEvents(t, origin, events)
+	renderCacheRows(t, origin, samples)
+	return t
+}
+
+// renderEvents is the task-slice half of the export (see Chrome's doc
+// comment for the emitted tracks).
+func renderEvents(t *Trace, origin time.Time, events []compss.Event) {
+	if len(events) == 0 {
+		return
 	}
 	// Sub-microsecond resolution matters: trace ts is in µs, but injected
 	// (body-less) attempts can close within the clock's resolution. Every
@@ -326,5 +389,58 @@ func Chrome(events []compss.Event) *Trace {
 	for _, s := range out {
 		t.Add(s.ev)
 	}
-	return t
+}
+
+// renderCacheRows emits the data-plane process: per-worker cache hit/miss
+// instant rows and a multi-series "resident bytes" counter, all on the same
+// clock as the task slices.
+func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) {
+	if len(samples) == 0 {
+		return
+	}
+	const cachePid = 1
+	t.Add(processName(cachePid, "exec data plane"))
+	laneOf := map[string]int{}
+	var workerIDs []string
+	for _, s := range samples {
+		if _, ok := laneOf[s.Worker]; !ok {
+			laneOf[s.Worker] = 0
+			workerIDs = append(workerIDs, s.Worker)
+		}
+	}
+	sort.Strings(workerIDs)
+	for i, wid := range workerIDs {
+		laneOf[wid] = i
+		t.Add(threadName(cachePid, i, wid+" cache"))
+	}
+	// One counter series per worker; each sample re-emits the full snapshot
+	// so the stacked track always shows total resident bytes.
+	occupancy := map[string]int64{}
+	for _, s := range samples {
+		ts := float64(s.Time.Sub(origin).Nanoseconds()) / 1e3
+		if ts < 0 {
+			ts = 0
+		}
+		lane := laneOf[s.Worker]
+		if s.Hits > 0 || s.Misses > 0 {
+			name := "cache hit"
+			if s.Misses > 0 {
+				name = "cache miss"
+			}
+			t.Add(TraceEvent{
+				Name: name, Cat: "cache", Ph: "i", Ts: ts,
+				Pid: cachePid, Tid: lane, Scope: "t",
+				Args: map[string]any{"task": s.Task, "hits": s.Hits, "misses": s.Misses},
+			})
+		}
+		occupancy[s.Worker] = s.CacheBytes
+		args := make(map[string]any, len(occupancy))
+		for w, b := range occupancy {
+			args[w] = b
+		}
+		t.Add(TraceEvent{
+			Name: "resident bytes", Cat: "cache", Ph: "C", Ts: ts,
+			Pid: cachePid, Args: args,
+		})
+	}
 }

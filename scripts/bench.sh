@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR6.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR7.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
@@ -16,15 +16,24 @@
 # that warm-up). The internal
 # sweep includes BenchmarkRemoteRoundtrip (internal/exec), the per-attempt
 # wire overhead of the out-of-process backend.
+#
+# The sweep also runs the remote reduction benchmark (cmd/scaling -exp
+# reduce, a Gram-matrix reduction tree) three ways — in-process, remote
+# with the reference data plane, remote shipping values (the protocol-1
+# baseline) — and records the REDUCEBENCH lines as "reduce:*" entries:
+# wall clock, exact bytes on the wire, cache hit rate. That is the
+# refs-vs-values comparison the worker future cache exists for.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR6.json}
+out=${1:-BENCH_PR7.json}
 micro=${BENCHTIME_MICRO:-2000x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+rtmp=$(mktemp)
+scaling=$(mktemp)
+trap 'rm -f "$tmp" "$rtmp" "$scaling"' EXIT
 
 echo "== go test -run=NONE -bench=. -benchmem -benchtime=$micro ./internal/..."
 go test -run=NONE -bench=. -benchmem -benchtime="$micro" ./internal/... 2>&1 | tee "$tmp"
@@ -74,4 +83,24 @@ awk '
     }
 ' "$tmp" > "$out"
 
-echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks)"
+# Remote reduction sweep: one binary, three data planes. REDUCE_FLAGS can
+# shrink the problem (e.g. REDUCE_FLAGS="-samples 1500 -features 128").
+go build -o "$scaling" ./cmd/scaling
+reduce() {
+    name=$1; shift
+    echo "== scaling -exp reduce ($name): $*"
+    "$scaling" -exp reduce ${REDUCE_FLAGS:-} "$@" |
+        sed -n "s/^REDUCEBENCH /  \"reduce:$name\": /p" >> "$rtmp"
+}
+reduce local -backend=local
+reduce remote-refs -backend=remote -loopback-workers=2 -slots=1
+reduce remote-values -backend=remote -loopback-workers=2 -slots=1 -exec-refs=false
+
+# Splice the reduce entries into the top-level JSON object.
+sed -i '$d' "$out"            # drop the closing brace
+sed -i '$ s/}$/},/' "$out"    # comma after the last benchmark entry
+sed 's/$/,/' "$rtmp" >> "$out"
+sed -i '$ s/,$//' "$out"      # the final entry carries no comma
+echo "}" >> "$out"
+
+echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs)"

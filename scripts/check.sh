@@ -53,6 +53,14 @@ go test -race -count=2 ./internal/compss/... ./internal/cluster/... ./internal/t
 echo "== go test -race -count=2 -cpu=1,8 -run 'TestStealStress|TestStolenDeadline' ./internal/compss/"
 go test -race -count=2 -cpu=1,8 -run 'TestStealStress|TestStolenDeadline' ./internal/compss/
 
+# The data-plane cache is shared mutable state under the dispatch
+# concurrency (clone-on-hit vs concurrent puts, residency folding vs
+# failWorker, KillWorker vs Close): run the cache and crash-path tests by
+# name so a test reorganization can never silently drop them from the
+# race gate.
+echo "== go test -race -count=2 -run 'TestFutureCache|TestRemoteLocality|TestRemoteMissResend|TestRemoteNestedRefs|TestRemoteAnonymous|TestKillWorker' ./internal/exec/"
+go test -race -count=2 -run 'TestFutureCache|TestRemoteLocality|TestRemoteMissResend|TestRemoteNestedRefs|TestRemoteAnonymous|TestKillWorker' ./internal/exec/
+
 # Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
 # regression that re-inflates the per-task allocation count is visible in
 # every gate run (the numbers land in the log; BENCH_PR6.json via
