@@ -36,19 +36,11 @@ func main() {
 	workers := flag.Int("workers", 0, "runtime worker goroutines (0 = GOMAXPROCS)")
 	nested := flag.Bool("nested", false, "use nesting for the CNN (Figure 10)")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the real execution to this file")
-	backendMode := flag.String("backend", "local", "execution backend: local | remote")
-	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
-	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
-	slots := flag.Int("slots", 1, "task slots per loopback worker")
-	cacheMB := flag.Int("exec-cache-mb", 0, "per-worker future-cache bound in MiB (0 = default, negative disables)")
-	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
+	var ecfg exec.Config
+	ecfg.Flags(flag.CommandLine)
 	flag.Parse()
 
-	backend, err := exec.OpenBackend(exec.BackendOptions{
-		Mode: *backendMode, Peers: *peers,
-		LoopbackWorkers: *loopback, Slots: *slots,
-		CacheMB: *cacheMB, NoRefs: !*refs,
-	})
+	backend, err := exec.Open(ecfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,10 +73,12 @@ func main() {
 	if *traceOut != "" {
 		collector = trace.NewCollector()
 		cfg.Observers = []compss.Observer{collector}
-		// Remote runs also sample the data plane: cache hit/miss instants
-		// and resident-bytes counters land in their own trace process.
+		// Remote runs also sample the data plane (cache hit/miss instants,
+		// resident-bytes counters) and the fleet (membership transitions as
+		// instants); both land in their own trace process.
 		if r, ok := backend.(*exec.Remote); ok {
 			r.SetCacheHook(collector.AddCacheSample)
+			r.SetFleetHook(collector.AddFleetEvent)
 		}
 	}
 

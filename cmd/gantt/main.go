@@ -39,15 +39,11 @@ func main() {
 	retries := flag.Int("retries", 2, "per-task retry budget when -faults is set")
 	backoff := flag.Float64("backoff", 5, "virtual-time retry backoff base in seconds")
 	traceOut := flag.String("trace", "", "write the replayed schedule as a Chrome trace to this file")
-	backendMode := flag.String("backend", "local", "execution backend for the captured run: local | remote")
-	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
-	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
+	var ecfg exec.Config
+	ecfg.Flags(flag.CommandLine)
 	flag.Parse()
 
-	backend, err := exec.OpenBackend(exec.BackendOptions{
-		Mode: *backendMode, Peers: *peers, LoopbackWorkers: 2, Slots: 1,
-		NoRefs: !*refs,
-	})
+	backend, err := exec.Open(ecfg)
 	if err != nil {
 		fatal(err)
 	}

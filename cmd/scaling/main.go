@@ -97,6 +97,22 @@ var (
 // shared by the runners the same way ft is.
 var backend exec.Backend
 
+// gauge tracks the live ready-queue depth across every runtime this command
+// creates; it is the autoscaler's load signal (exec.Config.Depth) when
+// -max-workers enables fleet elasticity.
+var gauge = trace.NewGauge()
+
+// observers is the observer list shared by every runtime this command
+// creates: always the ready-depth gauge, plus the trace collector when
+// -trace is set.
+func observers() []compss.Observer {
+	obs := []compss.Observer{gauge}
+	if collector != nil {
+		obs = append(obs, collector)
+	}
+	return obs
+}
+
 // replayPath derives the replay trace's file name from -trace's value:
 // base.json → base.replay.json.
 func replayPath(p string) string {
@@ -144,9 +160,7 @@ func faultPlan() *compss.FaultPlan {
 // withFaults applies the -faults and -trace settings to a pipeline
 // configuration.
 func withFaults(cfg core.PipelineConfig) core.PipelineConfig {
-	if collector != nil {
-		cfg.Observers = []compss.Observer{collector}
-	}
+	cfg.Observers = observers()
 	cfg.Backend = backend
 	if ft.every <= 0 {
 		return cfg
@@ -166,12 +180,8 @@ func main() {
 	flag.IntVar(&ft.retries, "retries", 2, "per-task retry budget when -faults is set")
 	flag.Float64Var(&ft.backoff, "backoff", 5, "virtual-time retry backoff base in seconds (the retry after failed attempt k waits backoff·2^k)")
 	flag.StringVar(&traceOut, "trace", "", "write Chrome traces: the real run to this file, the last replayed schedule to <name>.replay.json")
-	backendMode := flag.String("backend", "local", "execution backend: local | remote")
-	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
-	loopback := flag.Int("loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
-	slots := flag.Int("slots", 1, "task slots per loopback worker")
-	cacheMB := flag.Int("exec-cache-mb", 0, "per-worker future-cache bound in MiB (0 = default, negative disables)")
-	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
+	var ecfg exec.Config
+	ecfg.Flags(flag.CommandLine)
 	features := flag.Int("features", 256, "feature columns for -exp reduce")
 	brows := flag.Int("reduce-block-rows", 300, "row-block size for -exp reduce")
 	reps := flag.Int("reduce-reps", 3, "measured repetitions for -exp reduce (best wall time wins)")
@@ -179,12 +189,11 @@ func main() {
 	if traceOut != "" {
 		collector = trace.NewCollector()
 	}
+	// The autoscaler's load signal: live ready-queue depth summed across
+	// every runtime attached to the gauge.
+	ecfg.Depth = gauge.Ready
 	var err error
-	backend, err = exec.OpenBackend(exec.BackendOptions{
-		Mode: *backendMode, Peers: *peers,
-		LoopbackWorkers: *loopback, Slots: *slots,
-		CacheMB: *cacheMB, NoRefs: !*refs,
-	})
+	backend, err = exec.Open(ecfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -193,10 +202,11 @@ func main() {
 	}
 	if r, ok := backend.(*exec.Remote); ok && collector != nil {
 		r.SetCacheHook(collector.AddCacheSample)
+		r.SetFleetHook(collector.AddFleetEvent)
 	}
 
 	if *exp == "reduce" {
-		runReduce(*samples, *features, *brows, *reps, *backendMode, *refs)
+		runReduce(*samples, *features, *brows, *reps, ecfg.Backend, ecfg.Refs)
 		writeRunTrace()
 		return
 	}
@@ -229,11 +239,7 @@ func main() {
 	// The paper's Figure 11 protocol: PCA runs first and its time is not
 	// counted; models train on the reduced features. The trace collector
 	// still spans it: the exported run shows the whole experiment.
-	var obs []compss.Observer
-	if collector != nil {
-		obs = []compss.Observer{collector}
-	}
-	rt := compss.New(compss.Config{Observers: obs, Backend: backend})
+	rt := compss.New(compss.Config{Observers: observers(), Backend: backend})
 	rx, k, err := core.ReduceWithPCA(rt, ds, core.PipelineConfig{BlockRows: 100, BlockCols: 100})
 	if err != nil {
 		fatal(err)
@@ -434,9 +440,7 @@ func runPCA(ds *core.Dataset) {
 	if ft.every > 0 {
 		rcfg = compss.Config{Faults: faultPlan(), DefaultRetries: ft.retries, DefaultBackoff: ft.backoff}
 	}
-	if collector != nil {
-		rcfg.Observers = []compss.Observer{collector}
-	}
+	rcfg.Observers = observers()
 	rcfg.Backend = backend
 	rt := compss.New(rcfg)
 	xa := dsarray.FromMatrix(rt.Main(), ds.X, 100, 100)
@@ -472,8 +476,9 @@ func runPCA(ds *core.Dataset) {
 //
 //	REDUCEBENCH {"backend":...,"refs":...,"wall_ms_best":...,...}
 //
-// which scripts/bench.sh folds into BENCH_PR7.json (values-vs-refs wall
-// clock, bytes on wire, cache hit rate).
+// which scripts/bench.sh folds into its BENCH JSON output (values-vs-refs
+// wall clock, bytes on wire, cache hit rate — and, for autoscaled runs,
+// peak fleet size).
 func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 	if rows < 2 || cols < 1 || brows < 1 || reps < 1 {
 		fatal(fmt.Errorf("reduce: need rows ≥ 2, cols ≥ 1, block rows ≥ 1, reps ≥ 1"))
@@ -504,11 +509,7 @@ func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 	var checksum float64
 	tasks := 0
 	for rep := 0; rep < reps; rep++ {
-		var obs []compss.Observer
-		if collector != nil {
-			obs = []compss.Observer{collector}
-		}
-		rt := compss.New(compss.Config{Observers: obs, Backend: backend})
+		rt := compss.New(compss.Config{Observers: observers(), Backend: backend})
 		start := time.Now()
 		xa := dsarray.FromMatrix(rt.Main(), x, brows, cols)
 		v, err := rt.Get(xa.Gram())
@@ -554,6 +555,9 @@ func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 			hitRate = float64(st.RefHits) / float64(st.RefHits+st.RefMisses)
 		}
 		rec["cache_hit_rate"] = hitRate
+		rec["peak_workers"] = st.PeakWorkers
+		rec["joined"] = st.Joined
+		rec["left"] = st.Left
 		fmt.Printf("  wire: %d dispatched, %.2f MB sent, %.2f MB recv, cache hit rate %.0f%% (%d misses, %d resends)\n",
 			st.Dispatched, float64(st.BytesSent)/1e6, float64(st.BytesRecv)/1e6,
 			100*hitRate, st.RefMisses, st.MissRetries)

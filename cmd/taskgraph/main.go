@@ -36,15 +36,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print graph statistics instead of DOT")
 	provenance := flag.Bool("provenance", false, "print a provenance JSON record instead of DOT")
 	traceOut := flag.String("trace", "", "write a Chrome trace of the captured run to this file")
-	backendMode := flag.String("backend", "local", "execution backend for the captured run: local | remote")
-	peers := flag.String("peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
-	refs := flag.Bool("exec-refs", true, "pass references instead of values between co-located remote tasks")
+	var ecfg exec.Config
+	ecfg.Flags(flag.CommandLine)
 	flag.Parse()
 
-	backend, err := exec.OpenBackend(exec.BackendOptions{
-		Mode: *backendMode, Peers: *peers, LoopbackWorkers: 2, Slots: 1,
-		NoRefs: !*refs,
-	})
+	backend, err := exec.Open(ecfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,16 +1,32 @@
 // Command worker serves the library's registered task functions to a
-// remote coordinator (see internal/exec): it listens on a TCP address,
-// handshakes with protocol version and slot count, and executes
-// gob-serialised task requests until killed. Start one per machine (or per
-// core set), then point a cmd tool at the fleet:
+// remote coordinator (see internal/exec). It has two modes:
+//
+// Listen mode (default): bind a TCP address, handshake with protocol
+// version and slot count, and execute gob-serialised task requests until
+// killed. Start one per machine (or per core set), then point a cmd tool at
+// the fleet:
 //
 //	worker -listen :7077 &
 //	worker -listen :7078 &
 //	afclass -model rf -backend remote -peers 127.0.0.1:7077,127.0.0.1:7078
 //
+// Join mode (-join): dial a coordinator's fleet listen address (a cmd tool
+// started with -fleet-listen) and register as a new member mid-run,
+// presenting the coordinator's join token. This is how a restarted worker
+// re-admits itself — it comes back as a brand-new member with a fresh id —
+// and how extra machines absorb load without the coordinator knowing their
+// addresses up front. With -min/-max the worker offers an elastic range of
+// fleet members over one process: it registers -min connections (each an
+// independent member with its own cache and -slots capacity) and grows to
+// -max while all of them are saturated:
+//
+//	afclass -backend remote -fleet-listen :7070 ...   # prints nothing; workers dial in
+//	worker -join coordinator:7070 -token <JoinToken> -min 1 -max 4
+//
 // The worker caps the shared kernel layer at one goroutine per task body
 // (internal/par): its parallelism budget is -slots concurrent bodies, and
-// cluster-level parallelism comes from running many workers.
+// cluster-level parallelism comes from running many workers (or pool
+// members).
 //
 // The binary links internal/core, so it carries every registered function
 // of the library — dsarray block ops, the random-forest tasks, the
@@ -34,7 +50,11 @@ import (
 func main() {
 	exec.MaybeWorkerMain() // also usable as a loopback re-exec target
 	listen := flag.String("listen", ":7077", "TCP address to serve task requests on")
-	slots := flag.Int("slots", 1, "concurrent task bodies this worker runs")
+	join := flag.String("join", "", "coordinator fleet address to dial into instead of listening (see -fleet-listen on the cmd tools)")
+	token := flag.String("token", "", "join credential for -join (the coordinator's JoinToken)")
+	minConns := flag.Int("min", 1, "with -join: fleet members this process always offers")
+	maxConns := flag.Int("max", 0, "with -join: grow up to this many members while saturated (0 = stay at -min)")
+	slots := flag.Int("slots", 1, "concurrent task bodies this worker runs (per member in -join mode)")
 	cacheMB := flag.Int("cache-mb", 0, "future-cache bound in MiB (0 = default, negative disables caching)")
 	flag.Parse()
 
@@ -42,12 +62,28 @@ func main() {
 	if *cacheMB != 0 {
 		cacheBytes = int64(*cacheMB) << 20
 	}
+	cfg := exec.WorkerConfig{Slots: *slots, CacheBytes: cacheBytes, Log: os.Stderr}
+
+	if *join != "" {
+		var err error
+		if *minConns > 1 || *maxConns > *minConns {
+			err = exec.JoinPool(*join, *token, *minConns, *maxConns, cfg)
+		} else {
+			err = exec.JoinCoordinator(*join, *token, cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		return // coordinator closed the connection: clean retirement
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}
-	if err := exec.Serve(l, exec.WorkerConfig{Slots: *slots, CacheBytes: cacheBytes, Log: os.Stderr}); err != nil {
+	if err := exec.Serve(l, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
 		os.Exit(1)
 	}

@@ -125,7 +125,7 @@ type Config struct {
 type Runtime struct {
 	g    *graph.Graph
 	cfg  Config
-	sem  chan struct{}
+	sem  *slotPool
 	main *TaskCtx
 
 	// ex is the work-stealing executor (see executor.go): per-worker ready
@@ -135,11 +135,9 @@ type Runtime struct {
 	ex *executor
 
 	// obs is the copy-on-write observer list; nil when no observer is
-	// attached (the zero-cost default). statsObs is the observer behind the
-	// deprecated EnableStats/Stats compatibility surface, nil until
-	// EnableStats. mu guards only the observer-list swap.
-	obs      atomic.Pointer[[]Observer]
-	statsObs atomic.Pointer[StatsObserver]
+	// attached (the zero-cost default). mu guards only the observer-list
+	// swap.
+	obs atomic.Pointer[[]Observer]
 
 	// execSession is this runtime's exec-backend session token (see
 	// exec.NextSession): it scopes the runtime's task ids in worker future
@@ -152,6 +150,16 @@ type Runtime struct {
 }
 
 // New creates a runtime.
+//
+// With an elastic backend (one implementing exec.Fleet, like exec.Remote),
+// the runtime's execution capacity follows the fleet: it starts at
+// max(Workers, live slot total) and is re-resolved on every membership
+// change — a worker joining mid-run raises effective parallelism, a
+// draining one lowers it. The executor's carrier structures are sized once
+// to the fleet's slot ceiling, so an autoscaled fleet can grow into
+// capacity the pool merely re-targets. The Watch subscription lives as
+// long as the backend (runtimes have no teardown); it holds only the slot
+// pool, and resizing a quiesced runtime's pool is harmless.
 func New(cfg Config) *Runtime {
 	w := cfg.Workers
 	if w <= 0 {
@@ -163,12 +171,32 @@ func New(cfg Config) *Runtime {
 	if cfg.DefaultBackoff < 0 {
 		cfg.DefaultBackoff = 0
 	}
+	capacity, ceiling := w, w
+	fleet, elastic := cfg.Backend.(exec.Fleet)
+	if elastic {
+		if total := fleet.SlotTotal(); total > capacity {
+			capacity = total
+		}
+		if c := fleet.SlotCeiling(); c > ceiling {
+			ceiling = c
+		}
+	}
 	rt := &Runtime{
 		g:   graph.New(),
 		cfg: cfg,
-		sem: make(chan struct{}, w),
+		sem: newSlotPool(capacity),
 	}
-	rt.ex = newExecutor(rt, w)
+	rt.ex = newExecutor(rt, ceiling)
+	if elastic {
+		base := w
+		fleet.Watch(func(slotTotal int) {
+			n := slotTotal
+			if base > n {
+				n = base
+			}
+			rt.sem.setCap(n)
+		})
+	}
 	if cfg.Backend != nil {
 		rt.execSession = exec.NextSession()
 	}
@@ -683,8 +711,8 @@ func tryAddChild(p, c *taskState) bool {
 // reported dependency error is the first failing argument exactly as the
 // old sequential resolution produced. A failed dependency means the body
 // never runs; the task still emits a terminal "deps" failure event so
-// observers (and through them StatsSummary) account for every graph node,
-// and still completes so its own dependents cascade.
+// observers (and through them a StatsObserver) account for every graph
+// node, and still completes so its own dependents cascade.
 func (rt *Runtime) becomeReady(st *taskState, w *worker) {
 	for _, a := range st.args {
 		switch v := a.(type) {
@@ -769,7 +797,7 @@ func (rt *Runtime) runReady(st *taskState, w *worker, stolen bool) {
 	}
 
 	for attempt := 0; ; attempt++ {
-		rt.sem <- struct{}{}
+		rt.sem.acquire()
 		rt.emit(EventStart, st, attempt, nil, "", false)
 		// Attempt 0 uses the context embedded in the taskState; retries get
 		// a fresh one, because an abandoned (timed-out) attempt keeps using
@@ -786,7 +814,7 @@ func (rt *Runtime) runReady(st *taskState, w *worker, stolen bool) {
 		child.onCarrier = st.deadline <= 0
 		res := rt.execAttempt(st, child, attempt, nOut, st.fn1, st.fnN, resolved)
 		if !res.slotLost {
-			<-rt.sem
+			rt.sem.release()
 		}
 		// The body is done and the slot released; End events are stamped
 		// here so End−Start measures body execution, not the bookkeeping
@@ -1160,12 +1188,12 @@ func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 		tc.holdsSlot = false
 		tc.slotMu.Unlock()
 		if held {
-			<-tc.rt.sem // hand the slot back; never blocks, we held a token
+			tc.rt.sem.release() // hand the slot back; never blocks, we held a token
 		}
 		rng := tc.rt.ex.nextSeed()
 		tc.rt.ex.helpUntilDone(tc.wkr, &rng, f.st)
 		if held {
-			tc.rt.sem <- struct{}{}
+			tc.rt.sem.acquire()
 			tc.slotMu.Lock()
 			tc.holdsSlot = true
 			tc.slotMu.Unlock()
@@ -1183,7 +1211,7 @@ func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 	}
 	// Park: hand the slot back. The receive never blocks — this attempt
 	// holds a slot, so the pool has at least its token.
-	<-tc.rt.sem
+	tc.rt.sem.release()
 	tc.holdsSlot = false
 	tc.slotMu.Unlock()
 
@@ -1198,14 +1226,14 @@ func (tc *TaskCtx) blockingWait(f *Future) (any, error) {
 		return f.wait()
 	}
 	tc.slotMu.Unlock()
-	tc.rt.sem <- struct{}{}
+	tc.rt.sem.acquire()
 	tc.slotMu.Lock()
 	if tc.abandoned {
 		// Abandoned while blocked on the reacquire: return the token. The
 		// receive never blocks — the send above put a token in the pool and
 		// every other holder only ever receives its own.
 		tc.slotMu.Unlock()
-		<-tc.rt.sem
+		tc.rt.sem.release()
 		return f.wait()
 	}
 	tc.holdsSlot = true

@@ -487,8 +487,8 @@ func BenchmarkFanOut100(b *testing.B) {
 }
 
 func TestStatsRecording(t *testing.T) {
-	rt := New(Config{Workers: 2})
-	rt.EnableStats()
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2, Observers: []Observer{so}})
 	for i := 0; i < 3; i++ {
 		rt.Submit(Opts{Name: "work"}, constTask(i))
 	}
@@ -496,7 +496,7 @@ func TestStatsRecording(t *testing.T) {
 	if err := rt.Barrier(); err != nil {
 		t.Fatal(err)
 	}
-	stats := rt.Stats()
+	stats := so.Stats()
 	if len(stats) != 4 {
 		t.Fatalf("recorded %d stats, want 4", len(stats))
 	}
@@ -505,11 +505,11 @@ func TestStatsRecording(t *testing.T) {
 			t.Fatalf("negative timing: %+v", s)
 		}
 	}
-	byName := rt.StatsByName()
+	byName := so.ByName()
 	if len(byName) != 2 {
-		t.Fatalf("StatsByName = %v", byName)
+		t.Fatalf("ByName = %v", byName)
 	}
-	summary := rt.StatsSummary()
+	summary := so.Summary()
 	if !strings.Contains(summary, "work") || !strings.Contains(summary, "other") {
 		t.Fatalf("summary:\n%s", summary)
 	}
@@ -518,8 +518,8 @@ func TestStatsRecording(t *testing.T) {
 // A task blocked on a slow dependency must account that time as WaitDeps,
 // not Queued: the split distinguishes graph stalls from capacity stalls.
 func TestStatsSplitDependencyVsSlotWait(t *testing.T) {
-	rt := New(Config{Workers: 2})
-	rt.EnableStats()
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2, Observers: []Observer{so}})
 	slow := rt.Submit(Opts{Name: "slow"}, func(_ *TaskCtx, _ []any) (any, error) {
 		time.Sleep(30 * time.Millisecond)
 		return 1, nil
@@ -528,7 +528,7 @@ func TestStatsSplitDependencyVsSlotWait(t *testing.T) {
 	if err := rt.Barrier(); err != nil {
 		t.Fatal(err)
 	}
-	stats := rt.Stats()
+	stats := so.Stats()
 	var dep *TaskStat
 	for i := range stats {
 		if stats[i].Name == "dep" {
@@ -546,14 +546,15 @@ func TestStatsSplitDependencyVsSlotWait(t *testing.T) {
 	}
 }
 
-func TestStatsDisabledByDefault(t *testing.T) {
-	rt := New(Config{Workers: 2})
+func TestStatsDetachedObserverSeesNothing(t *testing.T) {
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2}) // so is NOT attached
 	rt.Submit(Opts{Name: "w"}, constTask(nil))
 	if err := rt.Barrier(); err != nil {
 		t.Fatal(err)
 	}
-	if len(rt.Stats()) != 0 {
-		t.Fatal("stats recorded without EnableStats")
+	if len(so.Stats()) != 0 {
+		t.Fatal("stats recorded by an unattached observer")
 	}
 }
 

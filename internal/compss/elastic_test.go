@@ -1,0 +1,115 @@
+package compss
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"taskml/internal/exec"
+)
+
+// fakeFleet is an exec.Backend that also implements exec.Fleet, with a
+// settable slot total: the compss runtime must size its slot pool from it
+// and re-target the pool when the watcher fires.
+type fakeFleet struct {
+	mu       sync.Mutex
+	slots    int
+	ceiling  int
+	watchers []func(int)
+}
+
+func (f *fakeFleet) ExecuteTask(*exec.Request) ([]any, string, error) {
+	return nil, "", errors.New("fakeFleet executes nothing")
+}
+func (f *fakeFleet) Close() error                { return nil }
+func (f *fakeFleet) Join(string) (string, error) { return "", errors.New("fake") }
+func (f *fakeFleet) Drain(string) error          { return errors.New("fake") }
+func (f *fakeFleet) Leave(string) error          { return errors.New("fake") }
+func (f *fakeFleet) Workers() []exec.WorkerInfo  { return nil }
+
+func (f *fakeFleet) SlotTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slots
+}
+func (f *fakeFleet) SlotCeiling() int { return f.ceiling }
+
+func (f *fakeFleet) Watch(fn func(int)) func() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.watchers = append(f.watchers, fn)
+	return func() {}
+}
+
+func (f *fakeFleet) setSlots(n int) {
+	f.mu.Lock()
+	f.slots = n
+	fns := append([]func(int){}, f.watchers...)
+	f.mu.Unlock()
+	for _, fn := range fns {
+		fn(n)
+	}
+}
+
+var _ exec.Backend = (*fakeFleet)(nil)
+var _ exec.Fleet = (*fakeFleet)(nil)
+
+// TestElasticCapacity pins the membership→parallelism contract: a runtime
+// over an elastic backend starts with the fleet's live slot total as its
+// effective parallelism, and a slot-total change mid-run re-targets the
+// pool without a new runtime.
+func TestElasticCapacity(t *testing.T) {
+	fleet := &fakeFleet{slots: 1, ceiling: 4}
+	rt := New(Config{Workers: 1, Backend: fleet})
+	if got := rt.sem.capacity(); got != 1 {
+		t.Fatalf("initial pool capacity = %d, want 1 (live slot total)", got)
+	}
+
+	started := make(chan int, 4)
+	release := make(chan struct{})
+	var futs []*Future
+	for i := 0; i < 4; i++ {
+		i := i
+		futs = append(futs, rt.Submit(Opts{Name: "hold"}, func(_ *TaskCtx, _ []any) (any, error) {
+			started <- i
+			<-release
+			return i, nil
+		}))
+	}
+
+	// One slot: exactly one body starts; the other three queue.
+	<-started
+	select {
+	case i := <-started:
+		t.Fatalf("task %d started beyond the 1-slot capacity", i)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// The fleet grows to 4 slots: the watcher re-targets the pool and the
+	// three queued bodies start without any new submission.
+	fleet.setSlots(4)
+	if got := rt.sem.capacity(); got != 4 {
+		t.Fatalf("pool capacity after growth = %d, want 4", got)
+	}
+	for n := 1; n < 4; n++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d bodies running after the fleet grew to 4 slots", n)
+		}
+	}
+
+	// Shrink below the configured base: the pool clamps at Workers, and
+	// slots already held are never revoked — the run finishes cleanly.
+	fleet.setSlots(0)
+	if got := rt.sem.capacity(); got != 1 {
+		t.Fatalf("pool capacity after shrink = %d, want the Workers base 1", got)
+	}
+	close(release)
+	for _, f := range futs {
+		if _, err := rt.Get(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,10 +5,13 @@
 // bounded ring deque of ready tasks. A *carrier* is a goroutine that claims a
 // worker slot and loops pop→execute; carriers are spawned lazily when work
 // appears and exit after a short idle linger, so an idle Runtime costs no
-// goroutines. Execution capacity is still bounded by the rt.sem token pool —
-// a carrier takes a token per attempt — which keeps the PR 2 slot-ownership
-// accounting (deadline abandonment, pool exactness) byte-for-byte intact on
-// top of the new dispatch layer.
+// goroutines. Execution capacity is still bounded by the rt.sem slot pool —
+// a carrier acquires a slot per attempt — which keeps the PR 2
+// slot-ownership accounting (deadline abandonment, pool exactness)
+// byte-for-byte intact on top of the dispatch layer. The pool's capacity is
+// elastic (it tracks fleet membership, see New); the carrier and deque
+// arrays here are instead sized once, to the fleet's slot *ceiling*, since
+// thieves iterate ex.workers unlocked.
 //
 // Queues. A task body submitting through its TaskCtx pushes onto its own
 // worker's deque bottom (LIFO: the freshest task is the cache-warmest) and
@@ -228,7 +231,7 @@ func getParker() *parker {
 // executor is the scheduler state hanging off a Runtime.
 type executor struct {
 	rt       *Runtime
-	maxProcs int // == Config.Workers == cap(rt.sem)
+	maxProcs int // carrier/deque count: max(Config.Workers, fleet slot ceiling)
 	workers  []*worker
 
 	// claimMu guards the free-worker stack.

@@ -13,11 +13,11 @@ func failTask(err error) TaskFunc {
 }
 
 // Regression: tasks that never run because a dependency failed used to
-// return before the stats recorder saw them, so StatsSummary undercounted
+// return before the stats recorder saw them, so the summary undercounted
 // the workflow. Every submitted task must produce exactly one TaskStat.
 func TestDepFailedTasksStillRecordStats(t *testing.T) {
-	rt := New(Config{Workers: 2})
-	rt.EnableStats()
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2, Observers: []Observer{so}})
 	boom := errors.New("boom")
 	bad := rt.Submit(Opts{Name: "bad"}, failTask(boom))
 	d1 := rt.Submit(Opts{Name: "dep"}, constTask(1), bad)
@@ -26,7 +26,7 @@ func TestDepFailedTasksStillRecordStats(t *testing.T) {
 	if err := rt.Barrier(); err == nil {
 		t.Fatal("Barrier should report the failure")
 	}
-	stats := rt.Stats()
+	stats := so.Stats()
 	if got, want := len(stats), rt.Graph().Len(); got != want {
 		t.Fatalf("recorded %d stats for %d tasks", got, want)
 	}
@@ -40,8 +40,8 @@ func TestDepFailedTasksStillRecordStats(t *testing.T) {
 			}
 		}
 	}
-	if !strings.Contains(rt.StatsSummary(), "dep") {
-		t.Fatal("StatsSummary lost the dep-failed tasks")
+	if !strings.Contains(so.Summary(), "dep") {
+		t.Fatal("Summary lost the dep-failed tasks")
 	}
 }
 
@@ -83,10 +83,10 @@ func TestDependencyErrorCollapses(t *testing.T) {
 }
 
 func TestRetryRecoversInjectedFault(t *testing.T) {
-	rt := New(Config{Workers: 2, Faults: &FaultPlan{Faults: []Fault{
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2, Observers: []Observer{so}, Faults: &FaultPlan{Faults: []Fault{
 		{Name: "r", Nth: 0, Attempts: 2, Mode: FaultError},
 	}}})
-	rt.EnableStats()
 	f := rt.Submit(Opts{Name: "r", Retries: 2}, constTask(42))
 	v, err := rt.Get(f)
 	if err != nil {
@@ -107,7 +107,7 @@ func TestRetryRecoversInjectedFault(t *testing.T) {
 	if got := rt.Graph().Attempts(f.TaskID()); got != 3 {
 		t.Fatalf("graph reports %d attempts, want 3", got)
 	}
-	for _, s := range rt.Stats() {
+	for _, s := range so.Stats() {
 		if s.ID == f.TaskID() && s.Attempts != 3 {
 			t.Fatalf("stat reports %d attempts, want 3", s.Attempts)
 		}
@@ -164,9 +164,9 @@ func TestPanicFaultRecordsPanicMode(t *testing.T) {
 // publishes it instead of failing; dependents consume the fallback and
 // Barrier reports a clean run (the degradation is visible in the graph).
 func TestDegradePublishesFallback(t *testing.T) {
-	rt := New(Config{Workers: 2, OnTaskFailure: Degrade,
+	so := NewStatsObserver()
+	rt := New(Config{Workers: 2, OnTaskFailure: Degrade, Observers: []Observer{so},
 		Faults: &FaultPlan{Faults: []Fault{{Name: "d", Nth: 0, Attempts: -1}}}})
-	rt.EnableStats()
 	d := rt.Submit(Opts{Name: "d", Retries: 1, Fallback: 40}, constTask(999))
 	sum := rt.Submit(Opts{Name: "consume"}, func(_ *TaskCtx, args []any) (any, error) {
 		return args[0].(int) + 2, nil
@@ -185,7 +185,7 @@ func TestDegradePublishesFallback(t *testing.T) {
 		t.Fatal("graph does not mark the task degraded")
 	}
 	var seen bool
-	for _, s := range rt.Stats() {
+	for _, s := range so.Stats() {
 		if s.ID == d.TaskID() {
 			seen = true
 			if !s.Degraded {

@@ -205,19 +205,3 @@ func (rt *Runtime) emitAt(kind EventKind, st *taskState, attempt int, at time.Ti
 		}
 	}
 }
-
-// addObserver attaches o to the runtime after construction (EnableStats'
-// compatibility path). The observer list is copy-on-write: appends take the
-// runtime mutex, readers take one atomic load. Events already in flight may
-// or may not reach o; per-task sequences seen by o remain causally ordered
-// for tasks submitted after the call.
-func (rt *Runtime) addObserver(o Observer) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	var next []Observer
-	if cur := rt.obs.Load(); cur != nil {
-		next = append(next, *cur...)
-	}
-	next = append(next, o)
-	rt.obs.Store(&next)
-}

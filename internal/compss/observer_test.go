@@ -201,7 +201,7 @@ func TestZeroObserverEmitsNothing(t *testing.T) {
 }
 
 // TestObserversViaConfigFeedStats asserts the Config.Observers path drives
-// the StatsObserver identically to the deprecated EnableStats wrapper.
+// the StatsObserver: one TaskStat per submitted task, no wrapper needed.
 func TestObserversViaConfigFeedStats(t *testing.T) {
 	s := NewStatsObserver()
 	rt := New(Config{Workers: 2, Observers: []Observer{s}})

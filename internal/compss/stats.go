@@ -58,8 +58,7 @@ type statBuild struct {
 // event stream back into per-task TaskStats, preserving the semantics of the
 // pre-Observer stats recorder (WaitDeps / Queued / Duration split, one stat
 // per submitted task, dep-failed tasks included) while adding the
-// per-attempt breakdown. Attach it via Config.Observers — or use the
-// deprecated Runtime.EnableStats, which attaches a default instance.
+// per-attempt breakdown. Attach it via Config.Observers.
 type StatsObserver struct {
 	mu    sync.Mutex
 	open  map[int]*statBuild
@@ -244,60 +243,4 @@ func (s *StatsObserver) Summary() string {
 			r.qstolen.Round(time.Microsecond), r.stolen, r.retries, r.failed, r.degraded)
 	}
 	return b.String()
-}
-
-// EnableStats switches on real-execution profiling for subsequently
-// submitted tasks by attaching a default StatsObserver. Idempotent.
-//
-// Deprecated: attach a StatsObserver through Config.Observers instead —
-// rt := New(Config{Observers: []Observer{NewStatsObserver()}}) — and read
-// it directly. EnableStats and the Stats accessors below remain as thin
-// wrappers over that default observer.
-func (rt *Runtime) EnableStats() {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.statsObs.Load() != nil {
-		return
-	}
-	s := NewStatsObserver()
-	var next []Observer
-	if cur := rt.obs.Load(); cur != nil {
-		next = append(next, *cur...)
-	}
-	next = append(next, s)
-	rt.obs.Store(&next)
-	rt.statsObs.Store(s)
-}
-
-// defaultStats returns the observer EnableStats attached, or nil.
-func (rt *Runtime) defaultStats() *StatsObserver { return rt.statsObs.Load() }
-
-// Stats returns a snapshot of the recorded task executions.
-//
-// Deprecated: read Stats() from your own StatsObserver (Config.Observers).
-func (rt *Runtime) Stats() []TaskStat {
-	if s := rt.defaultStats(); s != nil {
-		return s.Stats()
-	}
-	return nil
-}
-
-// StatsByName aggregates total real execution time per task name.
-//
-// Deprecated: use StatsObserver.ByName.
-func (rt *Runtime) StatsByName() map[string]time.Duration {
-	if s := rt.defaultStats(); s != nil {
-		return s.ByName()
-	}
-	return map[string]time.Duration{}
-}
-
-// StatsSummary renders the per-name profile table.
-//
-// Deprecated: use StatsObserver.Summary.
-func (rt *Runtime) StatsSummary() string {
-	if s := rt.defaultStats(); s != nil {
-		return s.Summary()
-	}
-	return NewStatsObserver().Summary()
 }

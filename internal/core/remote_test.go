@@ -165,3 +165,92 @@ func TestRemoteSurvivesWorkerKill(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteKillThenRejoinParity is the re-admission acceptance test: a
+// worker is SIGKILLed mid-run and a replacement joins the fleet while the
+// run is still going — exactly what `worker -join` does after a restart.
+// The replacement is a brand-new member (fresh id, empty cache), the run
+// completes, and the confusion matrix stays bit-identical to the
+// in-process baseline.
+func TestRemoteKillThenRejoinParity(t *testing.T) {
+	ds, err := BuildDataset(smallData(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunCV(ModelRF, ds, fastCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	backend, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 2, Slots: 1, CacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	cfg := fastCfg(23)
+	cfg.Backend = backend
+	cfg.Retries = 3
+	cfg.RetryBackoff = 1
+
+	// Kill w0 once the run is underway, then immediately re-admit a
+	// replacement: the comeback must be a new member, not a resurrection.
+	done := make(chan struct{})
+	defer close(done)
+	rejoined := make(chan string, 1)
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if backend.Stats().Dispatched >= 5 {
+				_ = backend.KillWorker(0)
+				id, err := backend.SpawnWorker()
+				if err == nil {
+					rejoined <- id
+				}
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	remote, err := RunCV(ModelRF, ds, cfg)
+	if err != nil {
+		t.Fatalf("run must survive the kill-and-rejoin: %v", err)
+	}
+	select {
+	case id := <-rejoined:
+		if id == "w0" || id == "w1" {
+			t.Fatalf("re-admitted worker reused id %q; re-admission must mint a fresh id", id)
+		}
+	default:
+		t.Fatal("the replacement worker never joined")
+	}
+	if n := backend.AliveWorkers(); n != 2 {
+		t.Fatalf("AliveWorkers = %d after rejoin, want 2 (survivor + replacement)", n)
+	}
+	st := backend.Stats()
+	if st.Dispatched != st.Completed+st.Failed {
+		t.Fatalf("stats not a partition after kill+rejoin: %+v", st)
+	}
+	if st.Joined != 3 {
+		t.Fatalf("Joined = %d, want 3 (two initial + one re-admission)", st.Joined)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
+				t.Fatalf("confusion[%d][%d]: local %d, post-rejoin remote %d — re-admission changed the result",
+					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+			}
+		}
+	}
+	for i := range local.FoldAccuracies {
+		if local.FoldAccuracies[i] != remote.FoldAccuracies[i] {
+			t.Fatalf("fold %d accuracy: local %x, remote %x (not bit-identical)",
+				i, local.FoldAccuracies[i], remote.FoldAccuracies[i])
+		}
+	}
+}

@@ -14,12 +14,29 @@
 //   - Backend is the two-method seam (ExecuteTask, Close); Local adapts the
 //     registry to it. Request carries resolved argument values plus optional
 //     identity (Session/TaskID/ArgRefs) for the data plane.
-//   - Dial / SpawnLoopback construct a *Remote coordinator; Serve and
-//     MaybeWorkerMain are the worker side; cmd/worker wraps Serve in a
-//     standalone binary. OpenBackend is the shared -backend/-peers flag
-//     logic of the cmd tools.
+//   - Dial / SpawnLoopback construct a *Remote coordinator; Serve,
+//     JoinCoordinator / JoinPool and MaybeWorkerMain are the worker side;
+//     cmd/worker wraps them in a standalone binary. Config / Flags / Open
+//     are the shared backend flag surface of the cmd tools (replacing the
+//     deprecated BackendOptions / OpenBackend).
+//   - Fleet is the membership surface (Join / Drain / Leave / Workers /
+//     SlotTotal / SlotCeiling / Watch), implemented by *Remote: workers
+//     join, drain and leave mid-run, ListenForWorkers admits dial-in
+//     registrations authenticated by JoinToken, and Autoscale drives the
+//     loopback fleet from a ScalePolicy (default: hysteresis on the
+//     ready-queue backlog). SetFleetHook observes every transition.
 //   - Cloner / Sizer let domain types opt their values into the worker
 //     future cache; NextSession mints the per-runtime cache namespace.
+//
+// # Fleet lifecycle
+//
+// A member is alive → draining → dead, never backwards, and dead members
+// are never reused: a restarted worker re-registers as a brand-new member
+// with a fresh id and an empty cache. Drain retires gracefully (no new
+// placements, in-flight attempts finish and count Completed); Leave and
+// connection failures retire immediately (in-flight attempts count Failed
+// and fall into the compss retry machinery). The RemoteStats partition
+// Dispatched == Completed + Failed holds across every transition.
 //
 // # The data plane
 //
@@ -43,8 +60,9 @@
 // duplicates so collisions surface at program start). Remote is safe for
 // concurrent ExecuteTask calls: each worker connection is multiplexed by
 // request ID, writes are serialised per connection, and a per-worker slot
-// count bounds in-flight bodies, composing with compss.Config.Workers
-// (effective parallelism = min(Workers, Σ alive slots)). Arguments and
+// count bounds in-flight bodies, composing with compss.Config.Workers:
+// the runtime watches the fleet and keeps its effective parallelism at
+// max(Workers, Σ alive slots) as members come and go. Arguments and
 // results cross the wire as gob copies (or as cache clones on a reference
 // hit — equivalent by construction), so registered bodies must be
 // argument-pure — no captured state, results freshly allocated — which is

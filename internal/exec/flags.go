@@ -1,12 +1,171 @@
 package exec
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"strings"
+	"time"
 )
 
-// BackendOptions is the cmd-line backend selection shared by the cmd tools
-// (-backend / -peers / -slots / -exec-cache-mb / -exec-refs flags).
+// Config is the one-stop backend configuration shared by the cmd tools: a
+// single struct covering backend selection, fleet sizing, the data plane,
+// and elasticity, with Flags binding the standard flag set and Open
+// interpreting the result. It replaces the BackendOptions bundle and the
+// per-tool flag scatter.
+type Config struct {
+	// Backend selects the execution backend: "" or "local" → nil
+	// (in-process), "remote" → Dial Peers, or SpawnLoopback when Peers is
+	// empty.
+	Backend string
+	// Peers is a comma-separated worker address list for Backend "remote".
+	Peers string
+	// Workers is how many loopback workers SpawnLoopback starts when Peers
+	// is empty (default 2). With autoscaling (MaxWorkers > 0) the fleet
+	// instead starts at MinWorkers.
+	Workers int
+	// Slots is the per-worker concurrent-body count for spawned workers.
+	Slots int
+	// CacheMB bounds each spawned worker's future cache in MiB; 0 keeps the
+	// worker default (DefaultCacheBytes), <0 disables worker caching.
+	CacheMB int
+	// Refs enables the reference data plane (default true; false is the
+	// values baseline, RemoteConfig.NoRefs).
+	Refs bool
+
+	// Listen, when non-empty, opens the coordinator's fleet listen address
+	// (Remote.ListenForWorkers) so restarted or brand-new workers can dial
+	// in mid-run. Use host:0 for an ephemeral port; the bound address and
+	// join token are available on the Remote.
+	Listen string
+
+	// MinWorkers / MaxWorkers enable queue-depth autoscaling of a loopback
+	// fleet when MaxWorkers > 0: the fleet starts at MinWorkers (default 1)
+	// and Remote.Autoscale grows/shrinks it within [MinWorkers, MaxWorkers].
+	// Only loopback fleets autoscale — Open rejects MaxWorkers with Peers.
+	MinWorkers int
+	MaxWorkers int
+	// ScalePolicy overrides the autoscaler's default &HysteresisPolicy{}.
+	ScalePolicy ScalePolicy
+	// ScaleInterval overrides the autoscaler's sampling interval.
+	ScaleInterval time.Duration
+	// Depth feeds the autoscaler the ready-queue depth (typically
+	// trace.Gauge.Ready). Nil falls back to the slot-waiter count.
+	Depth func() int
+
+	// DialTimeout bounds each worker dial + handshake (default 5s).
+	DialTimeout time.Duration
+}
+
+// Flags binds the standard backend flags onto fs, writing into cfg. The
+// flag names are shared by every cmd tool:
+//
+//	-backend local|remote     -peers host:port,...
+//	-loopback-workers N       -slots N
+//	-exec-cache-mb N          -exec-refs
+//	-fleet-listen host:port   -min-workers N  -max-workers N
+func (cfg *Config) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&cfg.Backend, "backend", "local", "execution backend: local | remote")
+	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated worker addresses for -backend=remote (empty spawns loopback workers)")
+	fs.IntVar(&cfg.Workers, "loopback-workers", 2, "loopback worker processes when -backend=remote without -peers")
+	fs.IntVar(&cfg.Slots, "slots", 1, "task slots per loopback worker")
+	fs.IntVar(&cfg.CacheMB, "exec-cache-mb", 0, "per-worker future-cache bound in MiB (0 = default, negative disables)")
+	fs.BoolVar(&cfg.Refs, "exec-refs", true, "pass references instead of values between co-located remote tasks")
+	fs.StringVar(&cfg.Listen, "fleet-listen", "", "coordinator listen address for mid-run worker registration (host:0 for ephemeral)")
+	fs.IntVar(&cfg.MinWorkers, "min-workers", 0, "autoscale floor; used with -max-workers")
+	fs.IntVar(&cfg.MaxWorkers, "max-workers", 0, "autoscale the loopback fleet up to this many workers (0 = fixed fleet)")
+}
+
+// Open builds the backend cfg describes:
+//
+//	Backend "local" (or "")  → nil: the runtime executes everything in-process.
+//	Backend "remote", Peers  → Dial the comma-separated worker addresses.
+//	Backend "remote", no Peers → SpawnLoopback: the tool re-execs itself as
+//	    worker processes on 127.0.0.1, MinWorkers of them when autoscaling.
+//
+// With Listen set, the coordinator's fleet listen port opens before Open
+// returns; with MaxWorkers set on a loopback fleet, the autoscaler is
+// already running. The caller owns the returned backend (Close it after
+// Barrier); a nil Backend needs no Close.
+func Open(cfg Config) (Backend, error) {
+	switch cfg.Backend {
+	case "", "local":
+		return nil, nil
+	case "remote":
+	default:
+		return nil, fmt.Errorf("exec: unknown backend %q (want local or remote)", cfg.Backend)
+	}
+
+	var r *Remote
+	if cfg.Peers != "" {
+		if cfg.MaxWorkers > 0 {
+			return nil, fmt.Errorf("exec: autoscaling (-max-workers) needs a loopback fleet, not -peers — dialed workers cannot be spawned")
+		}
+		var addrs []string
+		for _, a := range strings.Split(cfg.Peers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		var err error
+		r, err = Dial(RemoteConfig{Peers: addrs, NoRefs: !cfg.Refs, DialTimeout: cfg.DialTimeout})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		n := cfg.Workers
+		if cfg.MaxWorkers > 0 {
+			n = cfg.MinWorkers
+			if n < 1 {
+				n = 1
+			}
+			if n > cfg.MaxWorkers {
+				return nil, fmt.Errorf("exec: -min-workers %d > -max-workers %d", n, cfg.MaxWorkers)
+			}
+		}
+		if n < 1 {
+			n = 2
+		}
+		var err error
+		r, err = SpawnLoopback(LoopbackConfig{
+			Workers: n, Slots: cfg.Slots,
+			CacheMB: cfg.CacheMB, NoRefs: !cfg.Refs,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Listen != "" {
+		addr, err := r.ListenForWorkers(cfg.Listen)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		// The operator needs both to start a dial-in worker; stderr keeps
+		// the announcement out of piped experiment output.
+		fmt.Fprintf(os.Stderr, "exec: fleet registration open on %s (worker -join %s -token %s)\n",
+			addr, addr, r.JoinToken())
+	}
+	if cfg.MaxWorkers > 0 {
+		err := r.Autoscale(AutoscaleConfig{
+			Min: cfg.MinWorkers, Max: cfg.MaxWorkers,
+			Policy: cfg.ScalePolicy, Depth: cfg.Depth,
+			Interval: cfg.ScaleInterval,
+		})
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// BackendOptions is the pre-Config backend selection bundle.
+//
+// Deprecated: use Config, which adds the fleet-lifecycle surface (listen
+// mode, autoscaling) under the same flag names. BackendOptions is kept one
+// release for out-of-tree callers and maps 1:1 onto Config.
 type BackendOptions struct {
 	// Mode selects the backend: "" or "local" → nil (in-process), "remote"
 	// → Dial Peers, or SpawnLoopback when Peers is empty.
@@ -26,38 +185,14 @@ type BackendOptions struct {
 	NoRefs bool
 }
 
-// OpenBackend interprets opts:
+// OpenBackend interprets opts exactly as Open interprets the equivalent
+// Config.
 //
-//	Mode "local" (or "")  → nil: the runtime executes everything in-process.
-//	Mode "remote", Peers  → Dial the comma-separated worker addresses.
-//	Mode "remote", no Peers → SpawnLoopback: the tool re-execs itself as
-//	    worker processes on 127.0.0.1.
-//
-// The caller owns the returned backend (Close it after Barrier); a nil
-// Backend needs no Close.
+// Deprecated: use Open(Config{...}).
 func OpenBackend(opts BackendOptions) (Backend, error) {
-	switch opts.Mode {
-	case "", "local":
-		return nil, nil
-	case "remote":
-		if opts.Peers != "" {
-			var addrs []string
-			for _, a := range strings.Split(opts.Peers, ",") {
-				if a = strings.TrimSpace(a); a != "" {
-					addrs = append(addrs, a)
-				}
-			}
-			return Dial(RemoteConfig{Peers: addrs, NoRefs: opts.NoRefs})
-		}
-		n := opts.LoopbackWorkers
-		if n < 1 {
-			n = 2
-		}
-		return SpawnLoopback(LoopbackConfig{
-			Workers: n, Slots: opts.Slots,
-			CacheMB: opts.CacheMB, NoRefs: opts.NoRefs,
-		})
-	default:
-		return nil, fmt.Errorf("exec: unknown backend %q (want local or remote)", opts.Mode)
-	}
+	return Open(Config{
+		Backend: opts.Mode, Peers: opts.Peers,
+		Workers: opts.LoopbackWorkers, Slots: opts.Slots,
+		CacheMB: opts.CacheMB, Refs: !opts.NoRefs,
+	})
 }

@@ -24,6 +24,16 @@ type LoopbackConfig struct {
 	NoRefs bool
 }
 
+// spawnConfig is how a loopback fleet re-execs one more worker: stored on
+// the Remote at SpawnLoopback so SpawnWorker (and through it the
+// autoscaler) can grow the fleet mid-run with identically-configured
+// children.
+type spawnConfig struct {
+	exe     string
+	slots   int
+	cacheMB int
+}
+
 // SpawnLoopback starts cfg.Workers copies of the current binary as worker
 // processes on 127.0.0.1 (each with the given slot count and cache bound),
 // dials them, and returns the connected coordinator. It is the zero-setup
@@ -34,7 +44,9 @@ type LoopbackConfig struct {
 // The children are re-execs of os.Executable() with TASKML_EXEC_WORKER set,
 // so they carry exactly the same registered-function table as the
 // coordinator (see MaybeWorkerMain, which every spawnable binary calls
-// first thing in main). Close kills and reaps them.
+// first thing in main). The fleet stays elastic: SpawnWorker adds one more
+// child, Drain/Leave retire them, and Autoscale does both automatically.
+// Close kills and reaps whatever is left.
 func SpawnLoopback(cfg LoopbackConfig) (*Remote, error) {
 	n := cfg.Workers
 	if n < 1 {
@@ -49,54 +61,73 @@ func SpawnLoopback(cfg LoopbackConfig) (*Remote, error) {
 		return nil, fmt.Errorf("exec: resolving own binary: %w", err)
 	}
 
-	procs := make([]*os.Process, 0, n)
-	peers := make([]string, 0, n)
-	kill := func() {
-		for _, p := range procs {
-			_ = p.Kill()
-			_, _ = p.Wait()
+	r := newRemote(cfg.NoRefs, 0)
+	r.spawn = &spawnConfig{exe: exe, slots: slots, cacheMB: cfg.CacheMB}
+	for i := 0; i < n; i++ {
+		if _, err := r.SpawnWorker(); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("exec: worker %d: %w", i, err)
 		}
 	}
-	for i := 0; i < n; i++ {
-		cmd := osexec.Command(exe)
-		cmd.Env = append(os.Environ(),
-			workerEnvListen+"=127.0.0.1:0",
-			fmt.Sprintf("%s=%d", workerEnvSlots, slots),
-		)
-		if cfg.CacheMB != 0 {
-			cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", workerEnvCacheMB, cfg.CacheMB))
-		}
-		cmd.Stderr = os.Stderr
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			kill()
-			return nil, fmt.Errorf("exec: worker %d stdout: %w", i, err)
-		}
-		if err := cmd.Start(); err != nil {
-			kill()
-			return nil, fmt.Errorf("exec: spawning worker %d: %w", i, err)
-		}
-		procs = append(procs, cmd.Process)
-		addr, err := readReadyLine(stdout, 10*time.Second)
-		if err != nil {
-			kill()
-			return nil, fmt.Errorf("exec: worker %d (pid %d) did not come up: %w", i, cmd.Process.Pid, err)
-		}
-		peers = append(peers, addr)
-		// Keep draining the child's stdout so it can never block on a full
-		// pipe; everything after the ready line is informational.
-		go func() { _, _ = io.Copy(io.Discard, stdout) }()
+	return r, nil
+}
+
+// SpawnWorker re-execs one more loopback child, waits for it to bind, dials
+// it, and admits it into the fleet with a fresh id (which it returns). Only
+// fleets created by SpawnLoopback can spawn — a dialed fleet has no
+// executable to run. This is both the autoscaler's grow primitive and the
+// crash-recovery test hook: kill a worker, SpawnWorker, and the replacement
+// is a brand-new member absorbing retried attempts.
+func (r *Remote) SpawnWorker() (string, error) {
+	r.mu.Lock()
+	sc := r.spawn
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return "", fmt.Errorf("exec: backend is closed")
+	}
+	if sc == nil {
+		return "", fmt.Errorf("exec: fleet was not spawned by SpawnLoopback")
 	}
 
-	r, err := Dial(RemoteConfig{Peers: peers, NoRefs: cfg.NoRefs})
-	if err != nil {
-		kill()
-		return nil, err
+	cmd := osexec.Command(sc.exe)
+	cmd.Env = append(os.Environ(),
+		workerEnvListen+"=127.0.0.1:0",
+		fmt.Sprintf("%s=%d", workerEnvSlots, sc.slots),
+	)
+	if sc.cacheMB != 0 {
+		cmd.Env = append(cmd.Env, fmt.Sprintf("%s=%d", workerEnvCacheMB, sc.cacheMB))
 	}
-	r.mu.Lock()
-	r.procs = procs
-	r.mu.Unlock()
-	return r, nil
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", fmt.Errorf("exec: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return "", fmt.Errorf("exec: spawning worker: %w", err)
+	}
+	fail := func(err error) (string, error) {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		return "", err
+	}
+	addr, err := readReadyLine(stdout, 10*time.Second)
+	if err != nil {
+		return fail(fmt.Errorf("exec: worker (pid %d) did not come up: %w", cmd.Process.Pid, err))
+	}
+	// Keep draining the child's stdout so it can never block on a full
+	// pipe; everything after the ready line is informational.
+	go func() { _, _ = io.Copy(io.Discard, stdout) }()
+
+	w, err := dialWorker(addr, r.dialTimeout)
+	if err != nil {
+		return fail(err)
+	}
+	id, err := r.admit(w, cmd.Process)
+	if err != nil {
+		return fail(err) // admit already killed on its closed path; harmless double-kill
+	}
+	return id, nil
 }
 
 // readReadyLine waits for the worker's TASKML_WORKER_LISTENING line and

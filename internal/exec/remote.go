@@ -1,7 +1,9 @@
 package exec
 
 import (
+	crand "crypto/rand"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"os"
@@ -22,9 +24,50 @@ type RemoteConfig struct {
 	NoRefs bool
 }
 
-// Remote is the coordinator side of the out-of-process backend: it holds
-// one multiplexed gob-over-TCP connection per worker and dispatches
-// ExecuteTask calls onto them.
+// workerState is the lifecycle of one fleet member. Transitions only move
+// forward: alive → draining → dead (graceful Drain) or alive/draining →
+// dead (connection failure, Leave, Close). A dead worker never comes back —
+// a restarted process re-registers as a brand-new member with a fresh id.
+type workerState int
+
+const (
+	wsAlive    workerState = iota // accepting placements
+	wsDraining                    // finishing in-flight work, no new placements
+	wsDead                        // retired; connection closed
+)
+
+func (s workerState) String() string {
+	switch s {
+	case wsAlive:
+		return "alive"
+	case wsDraining:
+		return "draining"
+	default:
+		return "dead"
+	}
+}
+
+// Remote is the coordinator side of the out-of-process backend: it owns a
+// dynamic fleet of workers — one multiplexed gob-over-TCP connection each —
+// and dispatches ExecuteTask calls onto them.
+//
+// # Fleet membership
+//
+// The worker set is fully dynamic. Members are admitted by Dial /
+// SpawnLoopback at construction, by Join (coordinator dials a worker
+// mid-run), by SpawnWorker (one more loopback child), or by dialing in to
+// the coordinator's listen address (ListenForWorkers) with the fleet's
+// JoinToken — the re-admission path for restarted workers. Every admission
+// mints a fresh id ("w0", "w1", ... never reused), so a worker that crashed
+// and redialed is a new member with an empty cache: its stale residency died
+// with the old connection and cannot alias the new one. Drain retires a
+// member gracefully — no new placements, in-flight attempts finish (their
+// piggybacked cache reports still apply), then the connection closes —
+// while Leave and connection failure retire it immediately, failing
+// in-flight attempts into the runtime's retry machinery. Watch subscribes
+// to live slot-total changes (the compss runtime resizes its worker pool
+// from it), and SetFleetHook observes every membership transition (the
+// Chrome trace renders them as instants).
 //
 // # Slot accounting
 //
@@ -32,11 +75,11 @@ type RemoteConfig struct {
 // bodies it runs concurrently). ExecuteTask picks an alive worker with a
 // free slot and blocks while every alive worker is saturated, so the
 // in-flight request count per worker never exceeds its slots. This composes
-// with compss.Config.Workers, which bounds the number of attempts the
-// runtime has in flight at all: effective remote parallelism is
-// min(Config.Workers, Σ alive worker slots), and a coordinator-side block
-// here holds a runtime worker slot — exactly as a busy in-process body
-// would.
+// with the runtime's own worker pool, which bounds the number of attempts
+// in flight at all: effective remote parallelism is min(runtime pool,
+// Σ alive worker slots) — and since the runtime re-resolves the fleet's
+// live slot total on every membership change, a joined worker raises
+// effective parallelism mid-run.
 //
 // # Placement and the data plane
 //
@@ -65,13 +108,31 @@ type RemoteConfig struct {
 // Dispatched/Completed/Failed partition outcomes exactly: every request
 // written to a connection counts Dispatched once and then exactly one of
 // Completed (a response came back, error or not) or Failed (the connection
-// died first). At quiescence Dispatched == Completed + Failed.
+// died first). At quiescence Dispatched == Completed + Failed. Membership
+// changes never break the partition: a drained worker finishes its
+// in-flight requests (they count Completed), a killed or left one fails
+// them (they count Failed).
 type Remote struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers []*workerConn
+	spawned []*workerConn // loopback children in spawn order (KillWorker index)
 	closed  bool
 	noRefs  bool
+
+	nextWID     int    // fresh member ids: w<nextWID>, monotone, never reused
+	token       string // fleet join credential (hello.Token on dial-in)
+	listener    net.Listener
+	spawn       *spawnConfig // how to re-exec one more loopback worker; nil for dialed fleets
+	dialTimeout time.Duration
+
+	waiting   int // dispatch goroutines blocked in acquire (autoscale backlog signal)
+	peakAlive int
+	joined    uint64 // admissions across the fleet's lifetime
+	left      uint64 // retirements (drained, dead, left) across the lifetime
+
+	scaleMax  int           // autoscale ceiling in workers; 0 when not autoscaling
+	scaleStop chan struct{} // closes to stop the autoscaler; nil when not autoscaling
 
 	nextID                        atomic.Uint64
 	dispatched, completed, failed atomic.Uint64
@@ -79,13 +140,40 @@ type Remote struct {
 	missRetries                   atomic.Uint64
 
 	cacheHook atomic.Pointer[func(CacheSample)]
+	fleetHook atomic.Pointer[func(FleetEvent)]
 
-	procs []*os.Process // loopback-spawned workers, reaped on Close
+	watchMu  sync.Mutex
+	watchSeq int
+	watchers map[int]func(slotTotal int)
 }
 
-// workerConn is one dialed worker. Scheduling state (alive, inflight,
-// resident) is guarded by the owning Remote's mutex; the pending map has
-// its own lock because the reader goroutine touches it without the
+// newRemote builds an empty fleet; members are admitted afterwards.
+func newRemote(noRefs bool, dialTimeout time.Duration) *Remote {
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	r := &Remote{
+		noRefs:      noRefs,
+		dialTimeout: dialTimeout,
+		token:       newJoinToken(),
+		watchers:    map[int]func(int){},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// newJoinToken mints the fleet join credential.
+func newJoinToken() string {
+	var b [12]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("tok-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// workerConn is one fleet member. Scheduling state (state, inflight,
+// resident, proc) is guarded by the owning Remote's mutex; the pending map
+// has its own lock because the reader goroutine touches it without the
 // scheduler lock.
 type workerConn struct {
 	id    string
@@ -100,9 +188,17 @@ type workerConn struct {
 	pendMu  sync.Mutex
 	pending map[uint64]chan response
 
-	alive    bool
+	state    workerState
 	inflight int
 	deadErr  error
+	joinTok  string // hello.Token presented on this connection (dial-in auth)
+
+	// proc is the loopback child process behind this connection, nil for
+	// dialed peers. Tombstoned (set nil) under r.mu before any kill/reap so
+	// KillWorker, Close and drain-completion can never reap twice.
+	proc *os.Process
+
+	done atomic.Uint64 // responses received over this connection's lifetime
 
 	// resident mirrors the worker's future cache (ref → bytes), maintained
 	// from Stored/Evicted response reports. Advisory: used only to score
@@ -132,14 +228,17 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WorkerInfo is a point-in-time description of one dialed worker.
+// WorkerInfo is a point-in-time description of one fleet member.
 type WorkerInfo struct {
 	ID       string
 	Addr     string
 	Pid      int
 	Slots    int
-	Alive    bool
+	State    string // "alive", "draining" or "dead"
+	Alive    bool   // State == "alive" (kept for callers predating Drain)
 	Inflight int
+	// Done counts responses this member returned across its lifetime.
+	Done uint64
 	// ResidentBytes is the coordinator's view of the worker's future-cache
 	// occupancy (advisory; see Remote's data-plane notes).
 	ResidentBytes int64
@@ -170,6 +269,13 @@ type RemoteStats struct {
 	// connections (requests + handshakes, responses).
 	BytesSent uint64
 	BytesRecv uint64
+
+	// Joined / Left count fleet admissions and retirements across the
+	// lifetime; PeakWorkers is the largest alive-member count ever observed
+	// (the elasticity benchmark records it as peak fleet size).
+	Joined      uint64
+	Left        uint64
+	PeakWorkers int
 }
 
 // CacheSample is one data-plane observation delivered to the hook installed
@@ -197,69 +303,212 @@ func (r *Remote) SetCacheHook(fn func(CacheSample)) {
 // Dial connects to every peer, performs the handshake, and returns the
 // coordinator. It fails if any peer is unreachable or speaks the wrong
 // protocol — a partially-connected start would silently shrink the cluster.
+// The fleet stays open afterwards: Join, ListenForWorkers and Drain/Leave
+// change membership mid-run.
 func Dial(cfg RemoteConfig) (*Remote, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("exec: Dial needs at least one peer")
 	}
-	timeout := cfg.DialTimeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	r := &Remote{noRefs: cfg.NoRefs}
-	r.cond = sync.NewCond(&r.mu)
-	for i, addr := range cfg.Peers {
-		w, err := dialWorker(fmt.Sprintf("w%d", i), addr, timeout)
-		if err != nil {
+	r := newRemote(cfg.NoRefs, cfg.DialTimeout)
+	for _, addr := range cfg.Peers {
+		if _, err := r.Join(addr); err != nil {
 			r.Close()
 			return nil, err
 		}
-		r.workers = append(r.workers, w)
-		go r.readLoop(w)
 	}
 	return r, nil
 }
 
-func dialWorker(id, addr string, timeout time.Duration) (*workerConn, error) {
+// Join dials one worker and admits it into the fleet mid-run with a fresh
+// id, which it returns. The new member is placed on as soon as it is
+// admitted; the runtime's effective parallelism rises with the slot total.
+func (r *Remote) Join(addr string) (string, error) {
+	r.mu.Lock()
+	timeout := r.dialTimeout
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return "", fmt.Errorf("exec: backend is closed")
+	}
+	w, err := dialWorker(addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	return r.admit(w, nil)
+}
+
+// admit registers a handshaken connection as a fleet member: it assigns the
+// next fresh id, starts the reader, and publishes the membership change.
+func (r *Remote) admit(w *workerConn, proc *os.Process) (string, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		w.conn.Close()
+		if proc != nil {
+			_ = proc.Kill()
+			_, _ = proc.Wait()
+		}
+		return "", fmt.Errorf("exec: backend is closed")
+	}
+	w.id = fmt.Sprintf("w%d", r.nextWID)
+	r.nextWID++
+	w.state = wsAlive
+	w.proc = proc
+	r.workers = append(r.workers, w)
+	if proc != nil {
+		r.spawned = append(r.spawned, w)
+	}
+	r.joined++
+	if n := r.aliveLocked(); n > r.peakAlive {
+		r.peakAlive = n
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	go r.readLoop(w)
+	r.membershipChanged(FleetJoin, w.id, "")
+	return w.id, nil
+}
+
+// aliveLocked counts alive members; caller holds r.mu.
+func (r *Remote) aliveLocked() int {
+	n := 0
+	for _, w := range r.workers {
+		if w.state == wsAlive {
+			n++
+		}
+	}
+	return n
+}
+
+// slotTotalLocked sums the slots of alive members; caller holds r.mu.
+func (r *Remote) slotTotalLocked() int {
+	n := 0
+	for _, w := range r.workers {
+		if w.state == wsAlive {
+			n += w.slots
+		}
+	}
+	return n
+}
+
+func dialWorker(addr string, timeout time.Duration) (*workerConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("exec: dialing worker %s at %s: %w", id, addr, err)
+		return nil, fmt.Errorf("exec: dialing worker at %s: %w", addr, err)
 	}
+	w, err := handshake(conn, addr, timeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// handshake reads the worker's hello off a fresh connection and builds the
+// (not yet admitted) member. The caller owns the connection on error.
+func handshake(conn net.Conn, addr string, timeout time.Duration) (*workerConn, error) {
 	cc := &countingConn{Conn: conn}
 	var h hello
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
 	if err := gob.NewDecoder(cc).Decode(&h); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("exec: handshake with worker %s at %s: %w", id, addr, err)
+		return nil, fmt.Errorf("exec: handshake with worker at %s: %w", addr, err)
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	if h.Proto != protoVersion {
-		conn.Close()
-		return nil, fmt.Errorf("exec: worker %s at %s speaks protocol %d, want %d", id, addr, h.Proto, protoVersion)
+		return nil, fmt.Errorf("exec: worker at %s speaks protocol %d, want %d", addr, h.Proto, protoVersion)
 	}
 	slots := h.Slots
 	if slots < 1 {
 		slots = 1
 	}
 	return &workerConn{
-		id: id, addr: addr, pid: h.Pid, slots: slots,
+		addr: addr, pid: h.Pid, slots: slots,
 		conn: cc, enc: gob.NewEncoder(cc),
 		pending:  map[uint64]chan response{},
-		alive:    true,
 		resident: map[ValueRef]int64{},
+		joinTok:  h.Token,
 	}, nil
 }
 
+// ListenForWorkers opens the coordinator's fleet listen address: workers
+// that dial it and present the fleet's JoinToken in their hello are admitted
+// as new members — the path a restarted worker (or a brand-new one absorbing
+// load) takes to register mid-run. Returns the bound address (addr may use
+// port 0). A connection with a wrong or missing token is dropped before it
+// can receive work.
+func (r *Remote) ListenForWorkers(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("exec: fleet listen %s: %w", addr, err)
+	}
+	r.mu.Lock()
+	if r.closed || r.listener != nil {
+		already := r.listener != nil
+		r.mu.Unlock()
+		l.Close()
+		if already {
+			return "", fmt.Errorf("exec: fleet listener already open")
+		}
+		return "", fmt.Errorf("exec: backend is closed")
+	}
+	r.listener = l
+	r.mu.Unlock()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed (Close)
+			}
+			go r.admitDialIn(conn)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// admitDialIn handshakes one inbound registration and admits it when the
+// token matches.
+func (r *Remote) admitDialIn(conn net.Conn) {
+	addr := conn.RemoteAddr().String()
+	w, err := handshake(conn, addr, r.dialTimeout)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if w.joinTok != r.token {
+		conn.Close()
+		return
+	}
+	_, _ = r.admit(w, nil)
+}
+
+// ListenAddr returns the fleet listen address, or "" when ListenForWorkers
+// was not called.
+func (r *Remote) ListenAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.listener == nil {
+		return ""
+	}
+	return r.listener.Addr().String()
+}
+
+// JoinToken returns the credential a dial-in worker must present (cmd/worker
+// -join -token, or the TASKML_EXEC_TOKEN env of a re-exec'd child).
+func (r *Remote) JoinToken() string { return r.token }
+
 // readLoop drains one worker's responses. The decoder owns the connection's
 // read side; any decode error means the stream is unusable (crash, kill,
-// network drop) and the worker is retired.
+// network drop — or the coordinator closed it after a drain) and the worker
+// is retired.
 func (r *Remote) readLoop(w *workerConn) {
 	dec := gob.NewDecoder(w.conn)
 	for {
 		var resp response
 		if err := dec.Decode(&resp); err != nil {
-			r.failWorker(w, fmt.Errorf("connection lost: %w", err))
+			r.failWorker(w, fmt.Errorf("connection lost: %w", err), FleetDead)
 			return
 		}
+		w.done.Add(1)
 		w.pendMu.Lock()
 		ch := w.pending[resp.ID]
 		delete(w.pending, resp.ID)
@@ -270,22 +519,25 @@ func (r *Remote) readLoop(w *workerConn) {
 	}
 }
 
-// failWorker retires w: no further dispatches land on it, its residency is
-// dropped (the cache died with the connection), and every pending request
-// fails with a connection error (which the runtime treats as an attempt
-// failure and may retry elsewhere). Each drained request counts Failed here
-// and is handed a connFailure response so the receive path in executeOn
-// does not also count it Completed — the counters stay a partition.
-func (r *Remote) failWorker(w *workerConn, err error) {
+// failWorker retires w immediately: no further dispatches land on it, its
+// residency is dropped (the cache died with the connection), and every
+// pending request fails with a connection error (which the runtime treats
+// as an attempt failure and may retry elsewhere). Each drained request
+// counts Failed here and is handed a connFailure response so the receive
+// path in executeOn does not also count it Completed — the counters stay a
+// partition. kind labels the fleet event ("" emits none: Close retires the
+// whole fleet without narrating it).
+func (r *Remote) failWorker(w *workerConn, err error, kind string) {
 	r.mu.Lock()
-	if !w.alive {
+	if w.state == wsDead {
 		r.mu.Unlock()
 		return
 	}
-	w.alive = false
+	w.state = wsDead
 	w.deadErr = err
 	w.resident = map[ValueRef]int64{}
 	w.residentBytes = 0
+	r.left++
 	r.cond.Broadcast()
 	r.mu.Unlock()
 	w.conn.Close()
@@ -298,6 +550,103 @@ func (r *Remote) failWorker(w *workerConn, err error) {
 		r.failed.Add(1)
 		ch <- response{Err: fmt.Sprintf("worker %s (%s): %v", w.id, w.addr, err), connFailure: true}
 	}
+	if kind != "" {
+		r.membershipChanged(kind, w.id, err.Error())
+	} else {
+		r.notifyWatchers()
+	}
+}
+
+// Drain retires worker id gracefully: it stops receiving placements
+// immediately, its in-flight attempts run to completion (their responses —
+// and the piggybacked cache reports — still come back and count Completed),
+// and once the last one finishes the connection closes and a loopback child
+// is reaped. An attempt that outlives its deadline instead times out into
+// the runtime's retry machinery like any other slow attempt. Drain returns
+// as soon as the worker is marked; observe completion via Workers (state
+// "dead") or the fleet hook's "drained" event.
+func (r *Remote) Drain(id string) error {
+	r.mu.Lock()
+	w := r.findLocked(id)
+	if w == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("exec: no worker %q", id)
+	}
+	if st := w.state; st != wsAlive {
+		r.mu.Unlock()
+		return fmt.Errorf("exec: worker %s is %s, cannot drain", id, st)
+	}
+	w.state = wsDraining
+	idle := w.inflight == 0
+	r.mu.Unlock()
+	r.membershipChanged(FleetDrain, id, "")
+	if idle {
+		r.finishDrain(w)
+	}
+	return nil
+}
+
+// finishDrain completes a drain once the worker is idle: close the
+// connection (the readLoop's decode error finds the worker already dead and
+// is a no-op) and reap a loopback child.
+func (r *Remote) finishDrain(w *workerConn) {
+	r.mu.Lock()
+	if w.state != wsDraining || w.inflight != 0 {
+		r.mu.Unlock()
+		return
+	}
+	w.state = wsDead
+	w.deadErr = fmt.Errorf("drained")
+	w.resident = map[ValueRef]int64{}
+	w.residentBytes = 0
+	proc := w.proc
+	w.proc = nil
+	r.left++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	w.conn.Close()
+	if proc != nil {
+		_ = proc.Kill()
+		_, _ = proc.Wait()
+	}
+	r.membershipChanged(FleetDrained, w.id, "")
+}
+
+// Leave removes worker id immediately: in-flight attempts fail into the
+// retry machinery (exactly as a crash would) and a loopback child is killed
+// and reaped. Use Drain for the graceful path.
+func (r *Remote) Leave(id string) error {
+	r.mu.Lock()
+	w := r.findLocked(id)
+	if w == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("exec: no worker %q", id)
+	}
+	if w.state == wsDead {
+		r.mu.Unlock()
+		return fmt.Errorf("exec: worker %s is already dead", id)
+	}
+	r.mu.Unlock()
+	r.failWorker(w, fmt.Errorf("removed from the fleet"), FleetLeave)
+	r.mu.Lock()
+	proc := w.proc
+	w.proc = nil
+	r.mu.Unlock()
+	if proc != nil {
+		_ = proc.Kill()
+		_, _ = proc.Wait()
+	}
+	return nil
+}
+
+// findLocked returns the member with the given id; caller holds r.mu.
+func (r *Remote) findLocked(id string) *workerConn {
+	for _, w := range r.workers {
+		if w.id == id {
+			return w
+		}
+	}
+	return nil
 }
 
 // acquire blocks until an alive worker has a free slot and reserves one.
@@ -306,7 +655,9 @@ func (r *Remote) failWorker(w *workerConn, err error) {
 // inputs), breaking ties — and the nothing-resident case — by least load.
 // Saturated workers are never waited on for locality: a busy data-holder
 // must not stall dispatch when an idle worker can run the task from shipped
-// values. It errors once no worker is alive.
+// values. Draining members are skipped for placement but still waited on —
+// their retirement (or a join) will move things along. It errors once no
+// worker is alive or draining.
 func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -316,13 +667,13 @@ func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 		}
 		var best *workerConn
 		var bestScore int64 = -1
-		anyAlive := false
+		anyOpen := false
 		for _, w := range r.workers {
-			if !w.alive {
+			if w.state == wsDead {
 				continue
 			}
-			anyAlive = true
-			if w.inflight >= w.slots {
+			anyOpen = true
+			if w.state != wsAlive || w.inflight >= w.slots {
 				continue
 			}
 			var score int64
@@ -334,22 +685,28 @@ func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 				best, bestScore = w, score
 			}
 		}
-		if !anyAlive {
+		if !anyOpen {
 			return nil, fmt.Errorf("exec: no alive workers")
 		}
 		if best != nil {
 			best.inflight++
 			return best, nil
 		}
+		r.waiting++
 		r.cond.Wait()
+		r.waiting--
 	}
 }
 
 func (r *Remote) release(w *workerConn) {
 	r.mu.Lock()
 	w.inflight--
+	finish := w.state == wsDraining && w.inflight == 0
 	r.cond.Broadcast()
 	r.mu.Unlock()
+	if finish {
+		r.finishDrain(w)
+	}
 }
 
 // Execute ships one anonymous attempt (no task identity, so no caching and
@@ -437,7 +794,7 @@ func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool)
 		// count: if our delete finds the entry, failWorker hadn't drained it
 		// (it swapped the map before we registered, or races behind us) and
 		// we count the failure; if the entry is gone, failWorker counted it.
-		r.failWorker(w, fmt.Errorf("sending %s: %w", req.Name, err))
+		r.failWorker(w, fmt.Errorf("sending %s: %w", req.Name, err), FleetDead)
 		w.pendMu.Lock()
 		_, mine := w.pending[id]
 		delete(w.pending, id)
@@ -483,7 +840,7 @@ func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []an
 	}
 	r.mu.Lock()
 	resident := make([]bool, len(req.ArgRefs))
-	if !inlineAll && w.alive {
+	if !inlineAll && w.state != wsDead {
 		for i, ar := range req.ArgRefs {
 			_, resident[i] = w.resident[ar.Ref]
 		}
@@ -526,13 +883,15 @@ func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []an
 }
 
 // applyResidency folds one response's Stored/Evicted reports into the
-// coordinator's view of w's cache.
+// coordinator's view of w's cache. Draining members still fold — their
+// in-flight responses are the flush of the piggybacked reports — though the
+// view is dropped wholesale when the drain finishes.
 func (r *Remote) applyResidency(w *workerConn, resp *response) {
 	if len(resp.Stored) == 0 && len(resp.Evicted) == 0 {
 		return
 	}
 	r.mu.Lock()
-	if w.alive {
+	if w.state != wsDead {
 		for _, ev := range resp.Evicted {
 			if n, ok := w.resident[ev]; ok {
 				delete(w.resident, ev)
@@ -549,7 +908,8 @@ func (r *Remote) applyResidency(w *workerConn, resp *response) {
 	r.mu.Unlock()
 }
 
-// Workers returns a snapshot of the dialed workers.
+// Workers returns a snapshot of every member the fleet has ever admitted,
+// retired ones included (their State is "dead").
 func (r *Remote) Workers() []WorkerInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -557,24 +917,106 @@ func (r *Remote) Workers() []WorkerInfo {
 	for i, w := range r.workers {
 		out[i] = WorkerInfo{
 			ID: w.id, Addr: w.addr, Pid: w.pid, Slots: w.slots,
-			Alive: w.alive, Inflight: w.inflight,
+			State: w.state.String(), Alive: w.state == wsAlive,
+			Inflight: w.inflight, Done: w.done.Load(),
 			ResidentBytes: w.residentBytes,
 		}
 	}
 	return out
 }
 
-// AliveWorkers returns the number of workers still accepting dispatches.
+// AliveWorkers returns the number of members still accepting dispatches.
 func (r *Remote) AliveWorkers() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := 0
+	return r.aliveLocked()
+}
+
+// SlotTotal returns the live slot total across alive members — the fleet's
+// current execution capacity. The compss runtime re-resolves it through
+// Watch on every membership change.
+func (r *Remote) SlotTotal() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slotTotalLocked()
+}
+
+// SlotCeiling returns the largest slot total this fleet is configured to
+// reach: the autoscale ceiling for autoscaled fleets, otherwise the current
+// total including draining members. The runtime sizes fixed structures
+// (its worker deques) from it once, then tracks SlotTotal within it.
+func (r *Remote) SlotCeiling() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
 	for _, w := range r.workers {
-		if w.alive {
-			n++
+		if w.state != wsDead {
+			total += w.slots
 		}
 	}
-	return n
+	if r.scaleMax > 0 && r.spawn != nil {
+		if c := r.scaleMax * r.spawn.slots; c > total {
+			total = c
+		}
+	}
+	return total
+}
+
+// Watch subscribes fn to live slot-total changes: it is called (on the
+// goroutine that changed membership, so it must be cheap and non-blocking)
+// after every join, drain completion, leave or death, with the new alive
+// slot total. The returned cancel unsubscribes.
+func (r *Remote) Watch(fn func(slotTotal int)) (cancel func()) {
+	r.watchMu.Lock()
+	id := r.watchSeq
+	r.watchSeq++
+	r.watchers[id] = fn
+	r.watchMu.Unlock()
+	return func() {
+		r.watchMu.Lock()
+		delete(r.watchers, id)
+		r.watchMu.Unlock()
+	}
+}
+
+// notifyWatchers delivers the current slot total to every Watch subscriber.
+func (r *Remote) notifyWatchers() {
+	r.mu.Lock()
+	total := r.slotTotalLocked()
+	r.mu.Unlock()
+	r.watchMu.Lock()
+	fns := make([]func(int), 0, len(r.watchers))
+	for _, fn := range r.watchers {
+		fns = append(fns, fn)
+	}
+	r.watchMu.Unlock()
+	for _, fn := range fns {
+		fn(total)
+	}
+}
+
+// membershipChanged publishes one fleet transition: a FleetEvent to the
+// hook (traces) and the new slot total to the Watch subscribers (runtime
+// capacity).
+func (r *Remote) membershipChanged(kind, worker, reason string) {
+	r.mu.Lock()
+	ev := FleetEvent{
+		Kind: kind, Worker: worker, Reason: reason,
+		Workers: r.aliveLocked(), Slots: r.slotTotalLocked(),
+	}
+	r.mu.Unlock()
+	if hook := r.fleetHook.Load(); hook != nil {
+		(*hook)(ev)
+	}
+	r.watchMu.Lock()
+	fns := make([]func(int), 0, len(r.watchers))
+	for _, fn := range r.watchers {
+		fns = append(fns, fn)
+	}
+	r.watchMu.Unlock()
+	for _, fn := range fns {
+		fn(ev.Slots)
+	}
 }
 
 // Stats returns cumulative dispatch counters.
@@ -592,32 +1034,37 @@ func (r *Remote) Stats() RemoteStats {
 		st.BytesSent += uint64(w.conn.written.Load())
 		st.BytesRecv += uint64(w.conn.read.Load())
 	}
+	st.Joined = r.joined
+	st.Left = r.left
+	st.PeakWorkers = r.peakAlive
 	r.mu.Unlock()
 	return st
 }
 
-// KillWorker forcibly terminates loopback worker i (SIGKILL) — the
-// fault-injection hook for crash-recovery tests. The death is observed the
-// same way a real crash would be: the connection drops, in-flight attempts
-// fail, and the worker is retired. It errors for workers Remote did not
-// spawn (it has no authority over processes it only dialed). The kill runs
-// under r.mu so it cannot race Close's reap of the same process (Kill
-// after Wait on a reaped process is a use-after-free of the pid).
+// KillWorker forcibly terminates the i-th loopback-spawned worker (SIGKILL,
+// in spawn order) — the fault-injection hook for crash-recovery tests. The
+// death is observed the same way a real crash would be: the connection
+// drops, in-flight attempts fail, and the worker is retired. It errors for
+// workers Remote did not spawn (it has no authority over processes it only
+// dialed). The kill runs under r.mu so it cannot race Close's reap of the
+// same process (Kill after Wait on a reaped process is a use-after-free of
+// the pid).
 func (r *Remote) KillWorker(i int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || i < 0 || i >= len(r.procs) || r.procs[i] == nil {
-		if r.closed {
-			return fmt.Errorf("exec: backend is closed")
-		}
+	if r.closed {
+		return fmt.Errorf("exec: backend is closed")
+	}
+	if i < 0 || i >= len(r.spawned) || r.spawned[i].proc == nil {
 		return fmt.Errorf("exec: worker %d was not spawned by this coordinator", i)
 	}
-	return r.procs[i].Kill()
+	return r.spawned[i].proc.Kill()
 }
 
-// Close retires every worker, fails pending requests, and reaps loopback
-// processes. The proc list is tombstoned under r.mu before reaping so a
-// concurrent KillWorker can never touch a reaped process.
+// Close stops the autoscaler and the fleet listener, retires every member,
+// fails pending requests, and reaps loopback processes. The per-member proc
+// handles are tombstoned under r.mu before reaping so a concurrent
+// KillWorker can never touch a reaped process.
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -626,19 +1073,31 @@ func (r *Remote) Close() error {
 	}
 	r.closed = true
 	workers := append([]*workerConn(nil), r.workers...)
-	procs := r.procs
-	r.procs = nil
+	var procs []*os.Process
+	for _, w := range workers {
+		if w.proc != nil {
+			procs = append(procs, w.proc)
+			w.proc = nil
+		}
+	}
+	l := r.listener
+	stop := r.scaleStop
+	r.scaleStop = nil
 	r.cond.Broadcast()
 	r.mu.Unlock()
 
+	if stop != nil {
+		close(stop)
+	}
+	if l != nil {
+		l.Close()
+	}
 	for _, w := range workers {
-		r.failWorker(w, fmt.Errorf("backend closed"))
+		r.failWorker(w, fmt.Errorf("backend closed"), "")
 	}
 	for _, p := range procs {
-		if p != nil {
-			_ = p.Kill()
-			_, _ = p.Wait()
-		}
+		_ = p.Kill()
+		_, _ = p.Wait()
 	}
 	return nil
 }

@@ -36,14 +36,26 @@ import "encoding/gob"
 // checkout; the coordinator rejects a mismatched hello instead of
 // mis-decoding task payloads. Version 2 added the reference wire forms
 // (ValueRef, RefValue) and the cache bookkeeping fields of request and
-// response.
-const protoVersion = 2
+// response. Version 3 added hello.Token, the fleet join credential that
+// gates the coordinator's listen mode (see Remote.ListenForWorkers).
+const protoVersion = 3
 
-// hello is the worker → coordinator handshake frame.
+// hello is the worker → coordinator handshake frame. The worker always
+// sends it first, whichever side dialed: on the classic path the
+// coordinator dials a listening worker and reads the hello off the fresh
+// connection; in fleet listen mode a worker dials the coordinator and the
+// hello doubles as its registration request.
 type hello struct {
 	Proto int // protocol version; must equal protoVersion
 	Pid   int // worker process id (diagnostics, trace labels)
 	Slots int // concurrent task bodies the worker will run
+	// Token is the fleet join credential. The coordinator ignores it on
+	// connections it dialed itself (it chose the address) but requires it to
+	// match its JoinToken on dial-in registrations — a stray connection to
+	// the listen port must not become a task executor. Re-admission after a
+	// crash presents the same token; the re-admitted worker still gets a
+	// fresh id (its old residency died with the old connection).
+	Token string
 }
 
 // ValueRef names one output of a task executed earlier: (session, task,

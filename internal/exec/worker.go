@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"taskml/internal/par"
 )
@@ -68,12 +70,22 @@ func Serve(l net.Listener, cfg WorkerConfig) error {
 
 func serveConn(conn net.Conn, slots int, cacheBytes int64, logw io.Writer) {
 	defer conn.Close()
-	var sendMu sync.Mutex
 	enc := gob.NewEncoder(conn)
 	if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots}); err != nil {
 		fmt.Fprintf(logw, "worker: handshake: %v\n", err)
 		return
 	}
+	serveLoop(conn, enc, slots, cacheBytes, logw, nil)
+}
+
+// serveLoop is the post-handshake body of one coordinator connection:
+// decode requests, execute them concurrently (bounded by slots, each
+// resolved against the connection's private future cache), reply in
+// completion order. busy, when non-nil, tracks the connection's in-flight
+// request count (the elastic join pool sizes itself from it). Returns when
+// the connection closes.
+func serveLoop(conn net.Conn, enc *gob.Encoder, slots int, cacheBytes int64, logw io.Writer, busy *atomic.Int64) {
+	var sendMu sync.Mutex
 	cache := newFutureCache(cacheBytes)
 	sem := make(chan struct{}, slots)
 	dec := gob.NewDecoder(conn)
@@ -86,8 +98,16 @@ func serveConn(conn net.Conn, slots int, cacheBytes int64, logw io.Writer) {
 			return
 		}
 		sem <- struct{}{}
+		if busy != nil {
+			busy.Add(1)
+		}
 		go func(req request) {
-			defer func() { <-sem }()
+			defer func() {
+				if busy != nil {
+					busy.Add(-1)
+				}
+				<-sem
+			}()
 			resp := handle(req, cache)
 			// Eviction reports ride on whichever response is next; draining
 			// immediately before the send keeps each eviction reported
@@ -101,6 +121,146 @@ func serveConn(conn net.Conn, slots int, cacheBytes int64, logw io.Writer) {
 				fmt.Fprintf(logw, "worker: replying to %s (req %d): %v\n", req.Name, req.ID, err)
 			}
 		}(req)
+	}
+}
+
+// JoinCoordinator dials a coordinator's fleet listen address (see
+// Remote.ListenForWorkers) and serves registered functions over the
+// connection until it closes: the hello doubles as the registration
+// request, with token as the join credential. This is how a restarted
+// worker re-admits itself mid-run — it comes back as a brand-new member
+// with a fresh id and an empty cache.
+func JoinCoordinator(addr, token string, cfg WorkerConfig) error {
+	slots := cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	par.SetLimit(1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("exec: joining coordinator at %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token}); err != nil {
+		return fmt.Errorf("exec: registering with coordinator at %s: %w", addr, err)
+	}
+	fmt.Fprintf(logw, "worker: pid %d joined coordinator %s (%d slots, %d MB cache)\n",
+		os.Getpid(), addr, slots, cacheBytes>>20)
+	serveLoop(conn, enc, slots, cacheBytes, logw, nil)
+	return nil
+}
+
+// JoinPool runs an elastic pool of coordinator connections: each connection
+// registers independently (so to the coordinator each is a fleet member of
+// its own, with its own cache and slot count from cfg), the pool grows by
+// one whenever every member is saturated (up to max), and shrinks back
+// toward min by letting surplus idle connections expire. A connection the
+// coordinator drops (drain, coordinator exit) is detected and replaced only
+// while the pool is below min — the worker machine offers capacity in
+// [min, max] and lets the coordinator's own policy use it.
+//
+// JoinPool returns once the coordinator has become unreachable: the pool is
+// empty and a re-dial fails. A worker supervisor (or systemd) restarting
+// the process re-registers from scratch.
+func JoinPool(addr, token string, min, max int, cfg WorkerConfig) error {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	slots := cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+
+	type member struct {
+		conn net.Conn
+		busy atomic.Int64
+		done atomic.Bool
+	}
+	var mu sync.Mutex
+	var pool []*member
+
+	dialOne := func() error {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token}); err != nil {
+			conn.Close()
+			return err
+		}
+		m := &member{conn: conn}
+		mu.Lock()
+		pool = append(pool, m)
+		n := len(pool)
+		mu.Unlock()
+		fmt.Fprintf(logw, "worker: pool member %d registered with %s\n", n, addr)
+		go func() {
+			cacheBytes := cfg.CacheBytes
+			if cacheBytes == 0 {
+				cacheBytes = DefaultCacheBytes
+			}
+			serveLoop(conn, enc, slots, cacheBytes, logw, &m.busy)
+			m.done.Store(true)
+		}()
+		return nil
+	}
+
+	par.SetLimit(1)
+	for i := 0; i < min; i++ {
+		if err := dialOne(); err != nil {
+			return fmt.Errorf("exec: joining coordinator at %s: %w", addr, err)
+		}
+	}
+
+	// Supervision loop: prune dead members, top back up to min, grow by one
+	// when every member is saturated. Growth is capacity *offered*; the
+	// coordinator decides when to place on it (and drains what it no longer
+	// wants, which the prune observes).
+	for {
+		time.Sleep(100 * time.Millisecond)
+		mu.Lock()
+		live := pool[:0]
+		saturated := true
+		for _, m := range pool {
+			if m.done.Load() {
+				continue
+			}
+			live = append(live, m)
+			if m.busy.Load() < int64(slots) {
+				saturated = false
+			}
+		}
+		pool = live
+		n := len(pool)
+		mu.Unlock()
+
+		switch {
+		case n == 0:
+			if err := dialOne(); err != nil {
+				return fmt.Errorf("exec: coordinator at %s unreachable: %w", addr, err)
+			}
+		case n < min:
+			_ = dialOne() // transient failures retried next tick while ≥1 member lives
+		case saturated && n < max:
+			_ = dialOne()
+		}
 	}
 }
 
@@ -188,11 +348,15 @@ func handle(req request, cache *futureCache) (resp response) {
 
 // Env vars of the loopback re-exec protocol (see SpawnLoopback): when
 // workerEnvListen is set, MaybeWorkerMain turns the current process into a
-// worker instead of running its normal main.
+// listening worker instead of running its normal main; when workerEnvCoord
+// is set instead, it dials the coordinator's fleet listen address with the
+// workerEnvToken credential (the re-exec form of JoinCoordinator).
 const (
 	workerEnvListen  = "TASKML_EXEC_WORKER"
 	workerEnvSlots   = "TASKML_EXEC_SLOTS"
 	workerEnvCacheMB = "TASKML_EXEC_CACHE_MB"
+	workerEnvCoord   = "TASKML_EXEC_COORD"
+	workerEnvToken   = "TASKML_EXEC_TOKEN"
 	// workerReadyPrefix is the machine-readable first stdout line carrying
 	// the bound address back to the spawning coordinator.
 	workerReadyPrefix = "TASKML_WORKER_LISTENING "
@@ -200,13 +364,17 @@ const (
 
 // MaybeWorkerMain is the loopback re-exec hook: binaries that can act as
 // loopback workers (the cmd tools, test binaries via TestMain) call it
-// first thing. When TASKML_EXEC_WORKER is unset it returns immediately;
-// when set, the process binds that address, prints the bound address on
-// stdout for the spawning coordinator, serves registered functions until
-// killed, and never returns.
+// first thing. When neither TASKML_EXEC_WORKER nor TASKML_EXEC_COORD is set
+// it returns immediately. With TASKML_EXEC_WORKER, the process binds that
+// address, prints the bound address on stdout for the spawning coordinator,
+// serves registered functions until killed, and never returns. With
+// TASKML_EXEC_COORD, it instead dials the coordinator's fleet listen
+// address and registers with the TASKML_EXEC_TOKEN credential — the re-exec
+// form of a dial-in fleet member — exiting when the connection closes.
 func MaybeWorkerMain() {
 	addr := os.Getenv(workerEnvListen)
-	if addr == "" {
+	coord := os.Getenv(workerEnvCoord)
+	if addr == "" && coord == "" {
 		return
 	}
 	slots := 1
@@ -224,6 +392,15 @@ func MaybeWorkerMain() {
 				cacheBytes = int64(n) << 20
 			}
 		}
+	}
+	if coord != "" {
+		err := JoinCoordinator(coord, os.Getenv(workerEnvToken),
+			WorkerConfig{Slots: slots, CacheBytes: cacheBytes, Log: os.Stderr})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0) // coordinator closed the connection: clean retirement
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -22,6 +22,7 @@ type Collector struct {
 	mu      sync.Mutex
 	events  []compss.Event
 	samples []CacheSample
+	fleet   []FleetSample
 }
 
 // CacheSample is one exec data-plane observation plus its arrival time (the
@@ -30,6 +31,15 @@ type Collector struct {
 type CacheSample struct {
 	Time time.Time
 	exec.CacheSample
+}
+
+// FleetSample is one fleet membership/scaling transition plus its arrival
+// time — joins, drains, deaths and autoscaler decisions on the same clock
+// as the task slices. Wire it with
+// exec.Remote.SetFleetHook(collector.AddFleetEvent).
+type FleetSample struct {
+	Time time.Time
+	exec.FleetEvent
 }
 
 // NewCollector returns an empty collector; attach it via
@@ -62,6 +72,16 @@ func (c *Collector) AddCacheSample(s exec.CacheSample) {
 	c.mu.Unlock()
 }
 
+// AddFleetEvent records one fleet transition, stamped with the arrival
+// time. It is shaped to be installed directly as an exec.Remote fleet hook
+// and is safe for concurrent use.
+func (c *Collector) AddFleetEvent(ev exec.FleetEvent) {
+	fs := FleetSample{Time: time.Now(), FleetEvent: ev}
+	c.mu.Lock()
+	c.fleet = append(c.fleet, fs)
+	c.mu.Unlock()
+}
+
 // Events returns a snapshot of the collected events in arrival order.
 func (c *Collector) Events() []compss.Event {
 	c.mu.Lock()
@@ -81,9 +101,21 @@ func (c *Collector) CacheSamples() []CacheSample {
 	return out
 }
 
-// Chrome renders the collected events (and any data-plane samples);
-// shorthand for ChromeCache(c.Events(), c.CacheSamples()).
-func (c *Collector) Chrome() *Trace { return ChromeCache(c.Events(), c.CacheSamples()) }
+// FleetSamples returns a snapshot of the collected fleet transitions in
+// arrival order.
+func (c *Collector) FleetSamples() []FleetSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FleetSample, len(c.fleet))
+	copy(out, c.fleet)
+	return out
+}
+
+// Chrome renders the collected events (and any data-plane or fleet
+// samples); shorthand for ChromeAll over the three snapshots.
+func (c *Collector) Chrome() *Trace {
+	return ChromeAll(c.Events(), c.CacheSamples(), c.FleetSamples())
+}
 
 // attemptKey identifies one executed attempt of one task.
 type attemptKey struct {
@@ -143,8 +175,18 @@ func Chrome(events []compss.Event) *Trace { return ChromeCache(events, nil) }
 // re-shipping a reduction tree avoids (or pays) is visible directly in the
 // viewer.
 func ChromeCache(events []compss.Event, samples []CacheSample) *Trace {
+	return ChromeAll(events, samples, nil)
+}
+
+// ChromeAll renders a runtime event stream plus exec data-plane samples
+// plus fleet membership transitions. The fleet rows are additive in the
+// same "exec data plane" process as the cache rows: one instant lane
+// ("fleet") marking joins, drains, deaths and autoscaler decisions, and a
+// "fleet size" counter tracking alive workers and slots — the elasticity of
+// a run is visible next to the queue-depth counters that drove it.
+func ChromeAll(events []compss.Event, samples []CacheSample, fleet []FleetSample) *Trace {
 	t := &Trace{}
-	if len(events) == 0 && len(samples) == 0 {
+	if len(events) == 0 && len(samples) == 0 && len(fleet) == 0 {
 		return t
 	}
 	var origin time.Time
@@ -159,8 +201,17 @@ func ChromeCache(events []compss.Event, samples []CacheSample) *Trace {
 			origin, haveOrigin = s.Time, true
 		}
 	}
+	for _, f := range fleet {
+		if !haveOrigin || f.Time.Before(origin) {
+			origin, haveOrigin = f.Time, true
+		}
+	}
 	renderEvents(t, origin, events)
-	renderCacheRows(t, origin, samples)
+	if len(samples) > 0 || len(fleet) > 0 {
+		t.Add(processName(cachePid, "exec data plane"))
+		nLanes := renderCacheRows(t, origin, samples)
+		renderFleetRows(t, origin, fleet, nLanes)
+	}
 	return t
 }
 
@@ -391,15 +442,18 @@ func renderEvents(t *Trace, origin time.Time, events []compss.Event) {
 	}
 }
 
-// renderCacheRows emits the data-plane process: per-worker cache hit/miss
-// instant rows and a multi-series "resident bytes" counter, all on the same
-// clock as the task slices.
-func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) {
+// cachePid is the trace process holding the exec rows: per-worker cache
+// lanes, the fleet lane, and their counters.
+const cachePid = 1
+
+// renderCacheRows emits the per-worker cache hit/miss instant rows and the
+// multi-series "resident bytes" counter, all on the same clock as the task
+// slices; it returns the number of lanes it used (the fleet lane starts
+// after them).
+func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) int {
 	if len(samples) == 0 {
-		return
+		return 0
 	}
-	const cachePid = 1
-	t.Add(processName(cachePid, "exec data plane"))
 	laneOf := map[string]int{}
 	var workerIDs []string
 	for _, s := range samples {
@@ -441,6 +495,39 @@ func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) {
 		t.Add(TraceEvent{
 			Name: "resident bytes", Cat: "cache", Ph: "C", Ts: ts,
 			Pid: cachePid, Args: args,
+		})
+	}
+	return len(workerIDs)
+}
+
+// renderFleetRows emits the fleet membership lane: one instant per
+// transition (named by its kind — "join", "drained", "scale-up", ...) and a
+// "fleet size" counter carrying the alive worker and slot totals after each
+// transition.
+func renderFleetRows(t *Trace, origin time.Time, fleet []FleetSample, lane int) {
+	if len(fleet) == 0 {
+		return
+	}
+	t.Add(threadName(cachePid, lane, "fleet"))
+	for _, f := range fleet {
+		ts := float64(f.Time.Sub(origin).Nanoseconds()) / 1e3
+		if ts < 0 {
+			ts = 0
+		}
+		args := map[string]any{"workers": f.Workers, "slots": f.Slots}
+		if f.Worker != "" {
+			args["worker"] = f.Worker
+		}
+		if f.Reason != "" {
+			args["reason"] = f.Reason
+		}
+		t.Add(TraceEvent{
+			Name: f.Kind, Cat: "fleet", Ph: "i", Ts: ts,
+			Pid: cachePid, Tid: lane, Scope: "t", Args: args,
+		})
+		t.Add(TraceEvent{
+			Name: "fleet size", Cat: "fleet", Ph: "C", Ts: ts, Pid: cachePid,
+			Args: map[string]any{"workers": f.Workers, "slots": f.Slots},
 		})
 	}
 }

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"taskml/internal/compss"
+)
+
+// Gauge is a minimal Observer tracking the runtime's live ready-queue depth
+// — the counter the Chrome export renders as the "ready" track, exposed
+// here as a live value instead of a post-hoc rendering so it can drive
+// decisions mid-run. Its intended consumer is the exec autoscaler: pass
+// Ready as exec.AutoscaleConfig.Depth (or exec.Config.Depth) and the fleet
+// grows when the runnable backlog outruns slot capacity.
+//
+// A task counts as ready from the moment its dependencies resolve (or a
+// retry re-queues it) until its body starts. Gauge is safe for concurrent
+// use and can observe several runtimes at once (the depths sum — which is
+// what a shared backend's autoscaler wants).
+type Gauge struct {
+	compss.NopObserver
+	ready atomic.Int64
+}
+
+// NewGauge returns an empty gauge; attach it via compss.Config.Observers.
+func NewGauge() *Gauge { return &Gauge{} }
+
+var _ compss.Observer = (*Gauge)(nil)
+
+func (g *Gauge) OnDepsReady(compss.Event) { g.ready.Add(1) }
+func (g *Gauge) OnRetry(compss.Event)     { g.ready.Add(1) }
+func (g *Gauge) OnStart(compss.Event)     { g.ready.Add(-1) }
+
+// Ready returns the current ready-queue depth.
+func (g *Gauge) Ready() int { return int(g.ready.Load()) }

@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR7.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR8.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
@@ -23,11 +23,18 @@
 # baseline) — and records the REDUCEBENCH lines as "reduce:*" entries:
 # wall clock, exact bytes on the wire, cache hit rate. That is the
 # refs-vs-values comparison the worker future cache exists for.
+#
+# The elasticity sweep at the end runs the same reduction bursty — a small
+# block size multiplies the task count — on a fixed 4-worker fleet and on
+# an autoscaled 1–8 fleet, and records both as "elastic:*" entries: wall
+# time plus the peak_workers/joined/left membership counters, so the cost
+# of scaling from cold (and the fleet size the policy settles on) is a
+# recorded number, not a guess.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR7.json}
+out=${1:-BENCH_PR8.json}
 micro=${BENCHTIME_MICRO:-2000x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)
@@ -96,6 +103,19 @@ reduce local -backend=local
 reduce remote-refs -backend=remote -loopback-workers=2 -slots=1
 reduce remote-values -backend=remote -loopback-workers=2 -slots=1 -exec-refs=false
 
+# Elasticity: the same reduction, made bursty (75-row blocks → 4× the leaf
+# tasks), on a fixed fleet vs an autoscaled one that must grow from one
+# worker under load and drain back when the tree narrows. ELASTIC_FLAGS can
+# shrink the problem the same way REDUCE_FLAGS does above.
+elastic() {
+    name=$1; shift
+    echo "== scaling -exp reduce ($name): $*"
+    "$scaling" -exp reduce -reduce-block-rows=75 ${ELASTIC_FLAGS:-} "$@" |
+        sed -n "s/^REDUCEBENCH /  \"elastic:$name\": /p" >> "$rtmp"
+}
+elastic fixed-4 -backend=remote -loopback-workers=4 -slots=1
+elastic auto-1-8 -backend=remote -min-workers=1 -max-workers=8 -slots=1
+
 # Splice the reduce entries into the top-level JSON object.
 sed -i '$d' "$out"            # drop the closing brace
 sed -i '$ s/}$/},/' "$out"    # comma after the last benchmark entry
@@ -103,4 +123,4 @@ sed 's/$/,/' "$rtmp" >> "$out"
 sed -i '$ s/,$//' "$out"      # the final entry carries no comma
 echo "}" >> "$out"
 
-echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs)"
+echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs, $(grep -c '"elastic:' "$out") elasticity runs)"

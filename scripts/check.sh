@@ -61,6 +61,18 @@ go test -race -count=2 -cpu=1,8 -run 'TestStealStress|TestStolenDeadline' ./inte
 echo "== go test -race -count=2 -run 'TestFutureCache|TestRemoteLocality|TestRemoteMissResend|TestRemoteNestedRefs|TestRemoteAnonymous|TestKillWorker' ./internal/exec/"
 go test -race -count=2 -run 'TestFutureCache|TestRemoteLocality|TestRemoteMissResend|TestRemoteNestedRefs|TestRemoteAnonymous|TestKillWorker' ./internal/exec/
 
+# Fleet membership is the newest shared-mutable surface: joins race
+# dispatch, drains race in-flight completions, the autoscaler races both,
+# and re-admission must stay bit-identical through a kill. Pin the
+# membership tests by name — same rationale as the cache pins above — plus
+# the elastic-capacity handoff into the compss slot pool.
+echo "== go test -race -count=2 -run 'TestFleet|TestHysteresisPolicy|TestOpenRejects' ./internal/exec/"
+go test -race -count=2 -run 'TestFleet|TestHysteresisPolicy|TestOpenRejects' ./internal/exec/
+echo "== go test -race -count=2 -run 'TestRemoteKillThenRejoinParity' ./internal/core/"
+go test -race -count=2 -run 'TestRemoteKillThenRejoinParity' ./internal/core/
+echo "== go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/"
+go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/
+
 # Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
 # regression that re-inflates the per-task allocation count is visible in
 # every gate run (the numbers land in the log; BENCH_PR6.json via
