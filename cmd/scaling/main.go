@@ -206,7 +206,7 @@ func main() {
 	}
 
 	if *exp == "reduce" {
-		runReduce(*samples, *features, *brows, *reps, ecfg.Backend, ecfg.Refs)
+		runReduce(*samples, *features, *brows, *reps, ecfg.Backend, ecfg.Refs, ecfg.P2P && ecfg.Refs)
 		writeRunTrace()
 		return
 	}
@@ -479,7 +479,7 @@ func runPCA(ds *core.Dataset) {
 // which scripts/bench.sh folds into its BENCH JSON output (values-vs-refs
 // wall clock, bytes on wire, cache hit rate — and, for autoscaled runs,
 // peak fleet size).
-func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
+func runReduce(rows, cols, brows, reps int, backendMode string, refs, p2p bool) {
 	if rows < 2 || cols < 1 || brows < 1 || reps < 1 {
 		fatal(fmt.Errorf("reduce: need rows ≥ 2, cols ≥ 1, block rows ≥ 1, reps ≥ 1"))
 	}
@@ -502,8 +502,8 @@ func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 
 	remote, _ := backend.(*exec.Remote)
 	nBlocks := (rows + brows - 1) / brows
-	fmt.Printf("=== reduce — %d×%d Gram reduction, %d row blocks, backend=%s refs=%v\n",
-		rows, cols, nBlocks, backendMode, refs)
+	fmt.Printf("=== reduce — %d×%d Gram reduction, %d row blocks, backend=%s refs=%v p2p=%v\n",
+		rows, cols, nBlocks, backendMode, refs, p2p)
 
 	best := 0.0
 	var checksum float64
@@ -537,7 +537,7 @@ func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 	}
 
 	rec := map[string]any{
-		"backend": backendMode, "refs": refs,
+		"backend": backendMode, "refs": refs, "p2p": p2p,
 		"rows": rows, "cols": cols, "block_rows": brows, "reps": reps,
 		"wall_ms_best": best, "tasks": tasks,
 		"checksum": fmt.Sprintf("%x", checksum),
@@ -558,9 +558,23 @@ func runReduce(rows, cols, brows, reps int, backendMode string, refs bool) {
 		rec["peak_workers"] = st.PeakWorkers
 		rec["joined"] = st.Joined
 		rec["left"] = st.Left
+		rec["peer_fetches"] = st.PeerFetches
+		rec["peer_fallbacks"] = st.PeerFallbacks
+		rec["peer_bytes_sent"] = st.PeerBytesSent
+		rec["peer_bytes_recv"] = st.PeerBytesRecv
+		rec["ref_value_bytes"] = st.RefValueBytes
+		rec["peer_value_bytes"] = st.PeerValueBytes
 		fmt.Printf("  wire: %d dispatched, %.2f MB sent, %.2f MB recv, cache hit rate %.0f%% (%d misses, %d resends)\n",
 			st.Dispatched, float64(st.BytesSent)/1e6, float64(st.BytesRecv)/1e6,
 			100*hitRate, st.RefMisses, st.MissRetries)
+		if st.PeerFetches > 0 || st.PeerFallbacks > 0 {
+			offload := 0.0
+			if tot := st.PeerValueBytes + st.RefValueBytes; tot > 0 {
+				offload = float64(st.PeerValueBytes) / float64(tot)
+			}
+			fmt.Printf("  peer: %d fetches (%d fallbacks), %.2f MB over peer links, %.0f%% of inter-worker payload off the coordinator\n",
+				st.PeerFetches, st.PeerFallbacks, float64(st.PeerBytesRecv)/1e6, 100*offload)
+		}
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {

@@ -23,6 +23,12 @@
 //	afclass -backend remote -fleet-listen :7070 ...   # prints nothing; workers dial in
 //	worker -join coordinator:7070 -token <JoinToken> -min 1 -max 4
 //
+// In both modes the worker opens a peer-transfer listener (-peer-listen,
+// default an ephemeral port) so other workers can pull its resident values
+// directly instead of routing them through the coordinator; pass
+// -peer-listen off to force all traffic onto the coordinator link. On a
+// multi-homed machine bind it to the interface the other workers route to.
+//
 // The worker caps the shared kernel layer at one goroutine per task body
 // (internal/par): its parallelism budget is -slots concurrent bodies, and
 // cluster-level parallelism comes from running many workers (or pool
@@ -56,13 +62,14 @@ func main() {
 	maxConns := flag.Int("max", 0, "with -join: grow up to this many members while saturated (0 = stay at -min)")
 	slots := flag.Int("slots", 1, "concurrent task bodies this worker runs (per member in -join mode)")
 	cacheMB := flag.Int("cache-mb", 0, "future-cache bound in MiB (0 = default, negative disables caching)")
+	peerListen := flag.String("peer-listen", ":0", "TCP address for direct worker-to-worker transfers (\"off\" disables the peer plane)")
 	flag.Parse()
 
 	cacheBytes := int64(0)
 	if *cacheMB != 0 {
 		cacheBytes = int64(*cacheMB) << 20
 	}
-	cfg := exec.WorkerConfig{Slots: *slots, CacheBytes: cacheBytes, Log: os.Stderr}
+	cfg := exec.WorkerConfig{Slots: *slots, CacheBytes: cacheBytes, PeerListen: *peerListen, Log: os.Stderr}
 
 	if *join != "" {
 		var err error

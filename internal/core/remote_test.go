@@ -33,16 +33,18 @@ func TestRemoteParityBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Three backend configurations, all required to be bit-identical to the
-	// in-process run: the reference data plane at its default cache size
-	// (steady-state hits), a deliberately tiny 1 MiB cache (constant
+	// Four backend configurations, all required to be bit-identical to the
+	// in-process run: the full data plane with peer-to-peer transfers
+	// (default), references without the peer plane (every value routed
+	// through the coordinator), a deliberately tiny 1 MiB cache (constant
 	// eviction, so most references Miss and re-send inlined values), and
 	// the values-only baseline (refs disabled entirely).
 	variants := []struct {
 		name string
 		cfg  exec.LoopbackConfig
 	}{
-		{"refs", exec.LoopbackConfig{Workers: 2, Slots: 1}},
+		{"refs-p2p", exec.LoopbackConfig{Workers: 2, Slots: 1}},
+		{"refs-no-p2p", exec.LoopbackConfig{Workers: 2, Slots: 1, NoPeers: true}},
 		{"refs-tiny-cache", exec.LoopbackConfig{Workers: 2, Slots: 1, CacheMB: 1}},
 		{"values-baseline", exec.LoopbackConfig{Workers: 2, Slots: 1, NoRefs: true}},
 	}
@@ -71,6 +73,14 @@ func TestRemoteParityBitIdentical(t *testing.T) {
 			}
 			if v.cfg.NoRefs && (st.RefHits != 0 || st.RefMisses != 0) {
 				t.Fatalf("values baseline still resolved references: %+v", st)
+			}
+			// With the peer plane off (explicitly, or implied by NoRefs) no
+			// byte may cross a worker-to-worker link — the peer counters are
+			// an exact partition, not an estimate.
+			if v.cfg.NoPeers || v.cfg.NoRefs {
+				if st.PeerFetches != 0 || st.PeerFallbacks != 0 || st.PeerBytesSent != 0 || st.PeerBytesRecv != 0 {
+					t.Fatalf("%s still used the peer plane: %+v", v.name, st)
+				}
 			}
 			for i := 0; i < 2; i++ {
 				for j := 0; j < 2; j++ {
@@ -162,6 +172,85 @@ func TestRemoteSurvivesWorkerKill(t *testing.T) {
 				t.Fatalf("confusion[%d][%d]: local %d, post-kill remote %d — recovery changed the result",
 					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
 			}
+		}
+	}
+}
+
+// TestRemotePeerKillParity is the peer plane's crash acceptance test: with
+// worker-to-worker transfers on, a worker holding peer-advertised values is
+// SIGKILLed mid-run. Any PeerRef already pointing at it degrades into the
+// Miss/resend fallback, a replacement joins under a fresh peer token (so a
+// stale PeerRef can never be served old-session data), and the confusion
+// matrix stays bit-identical to the in-process baseline.
+func TestRemotePeerKillParity(t *testing.T) {
+	ds, err := BuildDataset(smallData(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunCV(ModelRF, ds, fastCfg(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three 1-slot workers: saturated holders routinely force consumers onto
+	// other workers, so inter-worker values flow over peer links throughout.
+	backend, err := exec.SpawnLoopback(exec.LoopbackConfig{Workers: 3, Slots: 1, CacheMB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	cfg := fastCfg(24)
+	cfg.Backend = backend
+	cfg.Retries = 3
+	cfg.RetryBackoff = 1
+
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if backend.Stats().Dispatched >= 5 {
+				_ = backend.KillWorker(0)
+				_, _ = backend.SpawnWorker()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	remote, err := RunCV(ModelRF, ds, cfg)
+	if err != nil {
+		t.Fatalf("run must survive losing a peer holder: %v", err)
+	}
+	st := backend.Stats()
+	if st.PeerFetches+st.PeerFallbacks == 0 {
+		t.Fatalf("stats %+v: the peer plane was never exercised — the kill test proved nothing", st)
+	}
+	// Quiescent: outcomes partition, and the byte ledgers stay disjoint
+	// (coordinator-link totals on one side, peer-link totals on the other).
+	if st.Dispatched != st.Completed+st.Failed {
+		t.Fatalf("stats not a partition after peer-holder kill: %+v", st)
+	}
+	if st.BytesSent == 0 || st.BytesRecv == 0 {
+		t.Fatalf("stats %+v: coordinator-link byte counters must stay live with p2p on", st)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if local.Confusion.Counts[i][j] != remote.Confusion.Counts[i][j] {
+				t.Fatalf("confusion[%d][%d]: local %d, post-kill remote %d — peer recovery changed the result",
+					i, j, local.Confusion.Counts[i][j], remote.Confusion.Counts[i][j])
+			}
+		}
+	}
+	for i := range local.FoldAccuracies {
+		if local.FoldAccuracies[i] != remote.FoldAccuracies[i] {
+			t.Fatalf("fold %d accuracy: local %x, remote %x (not bit-identical)",
+				i, local.FoldAccuracies[i], remote.FoldAccuracies[i])
 		}
 	}
 }

@@ -109,6 +109,25 @@ func (c *futureCache) get(ref ValueRef) (any, bool) {
 	return cl, true
 }
 
+// peek returns the resident value for ref without cloning, or (nil, false)
+// on miss. It backs the peer server (peer.go): a peer fetch gob-encodes the
+// value straight onto the socket, and encoding only reads — resident copies
+// are immutable by construction (get clones, put stores a private copy), so
+// no clone is needed. A peek is a use: it refreshes LRU recency, but it is
+// deliberately not counted in hits/misses — those count the *owning*
+// connection's argument resolutions, and a peer fetch belongs to another
+// connection's request.
+func (c *futureCache) peek(ref ValueRef) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[ref]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.val, true
+}
+
 // put inserts val under ref and returns its accounted size, evicting LRU
 // entries as needed. Values that cannot be cloned or sized, and values
 // larger than the whole cache, are rejected (returns 0, false) — the caller

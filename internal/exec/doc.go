@@ -54,6 +54,20 @@
 // with values inlined — eviction or a crashed cache costs one round trip,
 // not a wrong answer.
 //
+// Protocol 4 adds the peer-to-peer plane on top: every worker opens a peer
+// listener (advertised in its hello), and a value resident on some *other*
+// alive worker travels as a PeerRef — directions to the holder — instead of
+// a coordinator-shipped RefValue. The executing worker dials the holder
+// over a cached, multiplexed peer connection and pulls the value straight
+// into its own cache, demoting the coordinator to metadata for inter-worker
+// traffic. Every peer failure (holder crashed, draining, restarted under a
+// stale token, timeout) degrades into the same Miss/resend backstop, so the
+// peer plane changes bytes-on-which-link, never answers. RemoteStats
+// splits the accounting exactly: BytesSent/BytesRecv count only the
+// coordinator links, PeerBytesSent/PeerBytesRecv count only the
+// worker-to-worker links, and RefValueBytes/PeerValueBytes partition
+// inter-task payload by which link carried it.
+//
 // # Concurrency and ownership
 //
 // The registry is write-at-init, read-only afterwards (Register panics on

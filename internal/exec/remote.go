@@ -22,6 +22,12 @@ type RemoteConfig struct {
 	// values and nothing is cached — the protocol-1 behaviour, kept as the
 	// measurable baseline for the refs-vs-values benchmark.
 	NoRefs bool
+	// NoPeers disables the peer-to-peer transfer plane (protocol 4): the
+	// coordinator never sends PeerRefs, so a value resident on another
+	// worker re-ships through the coordinator as a RefValue — the
+	// protocol-2 behaviour, kept as the measurable baseline for the
+	// p2p-vs-refs benchmark. Implied by NoRefs (no refs, nothing to fetch).
+	NoPeers bool
 }
 
 // workerState is the lifecycle of one fleet member. Transitions only move
@@ -119,6 +125,7 @@ type Remote struct {
 	spawned []*workerConn // loopback children in spawn order (KillWorker index)
 	closed  bool
 	noRefs  bool
+	noPeers bool
 
 	nextWID     int    // fresh member ids: w<nextWID>, monotone, never reused
 	token       string // fleet join credential (hello.Token on dial-in)
@@ -139,6 +146,15 @@ type Remote struct {
 	refHits, refMisses            atomic.Uint64
 	missRetries                   atomic.Uint64
 
+	// Peer-plane counters (protocol 4): fetches/fallbacks count outcomes,
+	// peerBytesSent/Recv are the exact peer-link wire totals folded from
+	// response deltas, and refValueBytes/peerValueBytes partition the
+	// inter-task payload volume by which link carried it (sizeOfValue
+	// units) — the coordinator-offload metric of the p2p benchmark.
+	peerFetches, peerFallbacks    atomic.Uint64
+	peerBytesSent, peerBytesRecv  atomic.Int64
+	refValueBytes, peerValueBytes atomic.Int64
+
 	cacheHook atomic.Pointer[func(CacheSample)]
 	fleetHook atomic.Pointer[func(FleetEvent)]
 
@@ -148,12 +164,13 @@ type Remote struct {
 }
 
 // newRemote builds an empty fleet; members are admitted afterwards.
-func newRemote(noRefs bool, dialTimeout time.Duration) *Remote {
+func newRemote(noRefs, noPeers bool, dialTimeout time.Duration) *Remote {
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
 	}
 	r := &Remote{
 		noRefs:      noRefs,
+		noPeers:     noPeers || noRefs,
 		dialTimeout: dialTimeout,
 		token:       newJoinToken(),
 		watchers:    map[int]func(int){},
@@ -192,6 +209,13 @@ type workerConn struct {
 	inflight int
 	deadErr  error
 	joinTok  string // hello.Token presented on this connection (dial-in auth)
+
+	// peerAddr / peerTok are the worker's advertised peer listener (host
+	// fixed up from the connection when the bind was unspecified) and the
+	// per-connection fetch credential; both empty when the worker has the
+	// peer plane off. Immutable after the handshake.
+	peerAddr string
+	peerTok  string
 
 	// proc is the loopback child process behind this connection, nil for
 	// dialed peers. Tombstoned (set nil) under r.mu before any kill/reap so
@@ -265,10 +289,34 @@ type RemoteStats struct {
 	// MissRetries counts requests re-sent with values inlined after a Miss
 	// reply.
 	MissRetries uint64
-	// BytesSent / BytesRecv are exact wire totals across all worker
-	// connections (requests + handshakes, responses).
+	// BytesSent / BytesRecv are exact wire totals of the *coordinator* links
+	// only — every coordinator↔worker connection's requests, handshakes and
+	// responses. Worker-to-worker traffic never crosses those connections;
+	// it is accounted separately and exactly in PeerBytesSent/PeerBytesRecv,
+	// so the two pairs partition the fleet's task traffic by link.
 	BytesSent uint64
 	BytesRecv uint64
+
+	// PeerFetches counts arguments workers pulled directly from a peer
+	// holder; PeerFallbacks counts PeerRefs that failed (holder gone,
+	// draining, wrong token, timeout) and degraded into the Miss/resend
+	// path. PeerBytesSent / PeerBytesRecv are exact wire totals of the
+	// worker-to-worker links (fetch requests + served values), summed from
+	// the per-response deltas every worker piggybacks on its coordinator
+	// connection — at quiescence they are the complete peer-plane mirror of
+	// BytesSent/BytesRecv.
+	PeerFetches   uint64
+	PeerFallbacks uint64
+	PeerBytesSent uint64
+	PeerBytesRecv uint64
+	// RefValueBytes / PeerValueBytes partition inter-task payload volume
+	// (sizeOfValue units) by which link carried it: RefValueBytes is value
+	// payload the coordinator link re-shipped even though some alive peer
+	// held it, PeerValueBytes is payload pulled over peer links. With the
+	// peer plane on, PeerValueBytes/(PeerValueBytes+RefValueBytes) is the
+	// coordinator-offload fraction of the p2p benchmark.
+	RefValueBytes  uint64
+	PeerValueBytes uint64
 
 	// Joined / Left count fleet admissions and retirements across the
 	// lifetime; PeakWorkers is the largest alive-member count ever observed
@@ -282,11 +330,14 @@ type RemoteStats struct {
 // with SetCacheHook: the reference-resolution outcome and cache occupancy
 // reported by one worker response.
 type CacheSample struct {
-	Worker     string // worker id (w0, w1, ...)
-	Task       int    // runtime task id, -1 for anonymous requests
-	Hits       int    // references resolved from the worker's cache
-	Misses     int    // references the worker could not resolve
-	CacheBytes int64  // the worker's cache occupancy after the request
+	Worker string // worker id (w0, w1, ...)
+	Task   int    // runtime task id, -1 for anonymous requests
+	Hits   int    // references resolved from the worker's cache
+	Misses int    // references the worker could not resolve
+	// PeerFetches counts arguments this request pulled directly from a peer
+	// worker instead of receiving through the coordinator (protocol 4).
+	PeerFetches int
+	CacheBytes  int64 // the worker's cache occupancy after the request
 }
 
 // SetCacheHook installs fn to receive one CacheSample per worker response
@@ -309,7 +360,7 @@ func Dial(cfg RemoteConfig) (*Remote, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("exec: Dial needs at least one peer")
 	}
-	r := newRemote(cfg.NoRefs, cfg.DialTimeout)
+	r := newRemote(cfg.NoRefs, cfg.NoPeers, cfg.DialTimeout)
 	for _, addr := range cfg.Peers {
 		if _, err := r.Join(addr); err != nil {
 			r.Close()
@@ -427,7 +478,32 @@ func handshake(conn net.Conn, addr string, timeout time.Duration) (*workerConn, 
 		pending:  map[uint64]chan response{},
 		resident: map[ValueRef]int64{},
 		joinTok:  h.Token,
+		peerAddr: fixupPeerAddr(h.PeerAddr, addr),
+		peerTok:  h.PeerToken,
 	}, nil
+}
+
+// fixupPeerAddr makes a worker's advertised peer listener dialable by other
+// workers: a :0 bind advertises an unspecified host ("[::]:port"), which is
+// replaced with the host this coordinator reaches the worker at — the one
+// address known to route there. A malformed advertisement disables the peer
+// plane for the member (fail open) rather than poisoning PeerRefs.
+func fixupPeerAddr(peerAddr, connAddr string) string {
+	if peerAddr == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(peerAddr)
+	if err != nil {
+		return ""
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		chost, _, err := net.SplitHostPort(connAddr)
+		if err != nil {
+			return ""
+		}
+		host = chost
+	}
+	return net.JoinHostPort(host, port)
 }
 
 // ListenForWorkers opens the coordinator's fleet listen address: workers
@@ -658,12 +734,33 @@ func (r *Remote) findLocked(id string) *workerConn {
 // values. Draining members are skipped for placement but still waited on —
 // their retirement (or a join) will move things along. It errors once no
 // worker is alive or draining.
+//
+// With the peer plane on, the scoring weighs peer reachability: a ref whose
+// only alive copy the candidate holds counts double, while a replicated ref
+// counts plain — any other free worker can pull a replica cheaply over a
+// peer link, so sole copies are the residency worth chasing. (A flat
+// local+peer additive weighting would be a no-op: every candidate can reach
+// the same peer-resident total, so it cancels out of the comparison.)
 func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
 		if r.closed {
 			return nil, fmt.Errorf("exec: backend is closed")
+		}
+		var holders map[ValueRef]int
+		if !r.noPeers && len(refs) > 0 {
+			holders = make(map[ValueRef]int, len(refs))
+			for _, w := range r.workers {
+				if w.state != wsAlive {
+					continue
+				}
+				for _, ref := range refs {
+					if _, ok := w.resident[ref]; ok {
+						holders[ref]++
+					}
+				}
+			}
 		}
 		var best *workerConn
 		var bestScore int64 = -1
@@ -678,7 +775,11 @@ func (r *Remote) acquire(refs []ValueRef) (*workerConn, error) {
 			}
 			var score int64
 			for _, ref := range refs {
-				score += w.resident[ref]
+				b := w.resident[ref]
+				if b > 0 && holders != nil && holders[ref] == 1 {
+					b *= 2 // sole alive copy: unreachable over peer links elsewhere
+				}
+				score += b
 			}
 			if best == nil || score > bestScore ||
 				(score == bestScore && w.inflight < best.inflight) {
@@ -736,16 +837,22 @@ func (r *Remote) ExecuteTask(req *Request) ([]any, string, error) {
 	}
 	defer r.release(w)
 
-	resp, err := r.executeOn(w, req, useRefs, false)
+	resp, peerSent, err := r.executeOn(w, req, useRefs, false)
 	if err != nil {
 		return nil, w.id, err
 	}
 	if len(resp.Miss) > 0 {
 		// The worker lacked references the residency map promised (evicted
-		// or raced); re-send on the same reserved slot with every value
-		// inlined. The inlined form cannot miss.
+		// or raced) or could not pull a PeerRef from its holder (crashed,
+		// drained, timed out); re-send on the same reserved slot with every
+		// value inlined. The inlined form cannot miss.
+		for _, m := range resp.Miss {
+			if peerSent[m] {
+				r.peerFallbacks.Add(1)
+			}
+		}
 		r.missRetries.Add(1)
-		resp, err = r.executeOn(w, req, useRefs, true)
+		resp, _, err = r.executeOn(w, req, useRefs, true)
 		if err != nil {
 			return nil, w.id, err
 		}
@@ -764,12 +871,15 @@ func (r *Remote) ExecuteTask(req *Request) ([]any, string, error) {
 
 // executeOn performs one wire round trip on an already-reserved worker
 // slot. inlineAll forces every reference to travel as a RefValue (the
-// post-Miss form).
-func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool) (response, error) {
+// post-Miss form). The returned set names the refs that traveled as
+// PeerRefs — the caller counts a peer fallback for each one that comes back
+// in a Miss.
+func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool) (response, map[ValueRef]bool, error) {
 	wireArgs := req.Args
+	var peerSent map[ValueRef]bool
 	store := false
 	if useRefs {
-		wireArgs = r.buildWireArgs(w, req, inlineAll)
+		wireArgs, peerSent = r.buildWireArgs(w, req, inlineAll)
 		store = req.TaskID >= 0
 	}
 
@@ -802,19 +912,23 @@ func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool)
 		if mine {
 			r.failed.Add(1)
 		}
-		return response{}, fmt.Errorf("exec: worker %s (%s): sending %s: %w", w.id, w.addr, req.Name, err)
+		return response{}, nil, fmt.Errorf("exec: worker %s (%s): sending %s: %w", w.id, w.addr, req.Name, err)
 	}
 
 	resp := <-ch
 	if resp.connFailure {
 		// Fabricated by failWorker, already counted Failed; a drained
 		// request is not a completed one.
-		return response{}, fmt.Errorf("exec: %s: %s", req.Name, resp.Err)
+		return response{}, nil, fmt.Errorf("exec: %s: %s", req.Name, resp.Err)
 	}
 	r.completed.Add(1)
 	r.applyResidency(w, &resp)
 	r.refHits.Add(uint64(resp.RefHits))
 	r.refMisses.Add(uint64(resp.RefMisses))
+	r.peerFetches.Add(uint64(resp.PeerFetched))
+	r.peerValueBytes.Add(resp.PeerValBytes)
+	r.peerBytesSent.Add(resp.PeerSent)
+	r.peerBytesRecv.Add(resp.PeerRecv)
 	if hook := r.cacheHook.Load(); hook != nil && useRefs {
 		task := req.TaskID
 		if !store {
@@ -823,30 +937,66 @@ func (r *Remote) executeOn(w *workerConn, req *Request, useRefs, inlineAll bool)
 		(*hook)(CacheSample{
 			Worker: w.id, Task: task,
 			Hits: resp.RefHits, Misses: resp.RefMisses,
-			CacheBytes: resp.CacheBytes,
+			PeerFetches: resp.PeerFetched,
+			CacheBytes:  resp.CacheBytes,
 		})
 	}
-	return resp, nil
+	return resp, peerSent, nil
 }
 
 // buildWireArgs maps req.Args to their wire form for worker w: an argument
 // (or []any element) named by an ArgRef travels as a ValueRef when w is
-// believed to hold it and as a cache-seeding RefValue otherwise; everything
-// else travels by value. The input slices are never mutated — the runtime
-// owns req.Args.
-func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []any {
+// believed to hold it, as a PeerRef when some *other* alive worker holds it
+// and both ends speak the peer plane (w pulls the value directly from the
+// holder), and as a cache-seeding RefValue otherwise; everything else
+// travels by value. Draining and dead holders are never advertised — their
+// values re-ship through the coordinator, failing open instead of pointing
+// w at a connection that is going away. The input slices are never mutated
+// — the runtime owns req.Args.
+//
+// The returned set names the refs sent as PeerRefs (for fallback
+// accounting). RefValues of already-resident values additionally count into
+// refValueBytes: payload the coordinator link carried even though a peer
+// held it — the p2p benchmark's offload denominator.
+func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) ([]any, map[ValueRef]bool) {
 	if len(req.ArgRefs) == 0 {
-		return req.Args
+		return req.Args, nil
 	}
+	type argPlan struct {
+		resident bool   // resident on w: send the bare ValueRef
+		peerAddr string // non-empty: send a PeerRef to this holder
+		peerTok  string
+		warm     bool // resident on some alive worker (peer-servable payload)
+	}
+	plans := make([]argPlan, len(req.ArgRefs))
 	r.mu.Lock()
-	resident := make([]bool, len(req.ArgRefs))
 	if !inlineAll && w.state != wsDead {
 		for i, ar := range req.ArgRefs {
-			_, resident[i] = w.resident[ar.Ref]
+			_, plans[i].resident = w.resident[ar.Ref]
+		}
+	}
+	usePeers := !r.noPeers && w.peerAddr != "" && w.state != wsDead
+	for i, ar := range req.ArgRefs {
+		if plans[i].resident {
+			continue
+		}
+		for _, h := range r.workers {
+			if h == w || h.state != wsAlive {
+				continue
+			}
+			if _, ok := h.resident[ar.Ref]; !ok {
+				continue
+			}
+			plans[i].warm = true
+			if usePeers && !inlineAll && h.peerAddr != "" && h.peerTok != "" {
+				plans[i].peerAddr, plans[i].peerTok = h.peerAddr, h.peerTok
+				break
+			}
 		}
 	}
 	r.mu.Unlock()
 
+	var peerSent map[ValueRef]bool
 	out := append([]any(nil), req.Args...)
 	cloned := map[int]bool{} // []any args copied-on-write for Elem substitution
 	for i, ar := range req.ArgRefs {
@@ -864,10 +1014,20 @@ func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []an
 			val = inner[ar.Elem]
 		}
 		var wire any
-		if resident[i] {
+		switch {
+		case plans[i].resident:
 			wire = ar.Ref
-		} else {
+		case plans[i].peerAddr != "":
+			wire = PeerRef{Ref: ar.Ref, Addr: plans[i].peerAddr, Token: plans[i].peerTok}
+			if peerSent == nil {
+				peerSent = map[ValueRef]bool{}
+			}
+			peerSent[ar.Ref] = true
+		default:
 			wire = RefValue{Ref: ar.Ref, Val: val}
+			if plans[i].warm {
+				r.refValueBytes.Add(sizeOfValue(val))
+			}
 		}
 		if ar.Elem < 0 {
 			out[ar.Arg] = wire
@@ -879,7 +1039,7 @@ func (r *Remote) buildWireArgs(w *workerConn, req *Request, inlineAll bool) []an
 			out[ar.Arg].([]any)[ar.Elem] = wire
 		}
 	}
-	return out
+	return out, peerSent
 }
 
 // applyResidency folds one response's Stored/Evicted reports into the
@@ -1022,12 +1182,18 @@ func (r *Remote) membershipChanged(kind, worker, reason string) {
 // Stats returns cumulative dispatch counters.
 func (r *Remote) Stats() RemoteStats {
 	st := RemoteStats{
-		Dispatched:  r.dispatched.Load(),
-		Completed:   r.completed.Load(),
-		Failed:      r.failed.Load(),
-		RefHits:     r.refHits.Load(),
-		RefMisses:   r.refMisses.Load(),
-		MissRetries: r.missRetries.Load(),
+		Dispatched:     r.dispatched.Load(),
+		Completed:      r.completed.Load(),
+		Failed:         r.failed.Load(),
+		RefHits:        r.refHits.Load(),
+		RefMisses:      r.refMisses.Load(),
+		MissRetries:    r.missRetries.Load(),
+		PeerFetches:    r.peerFetches.Load(),
+		PeerFallbacks:  r.peerFallbacks.Load(),
+		PeerBytesSent:  uint64(r.peerBytesSent.Load()),
+		PeerBytesRecv:  uint64(r.peerBytesRecv.Load()),
+		RefValueBytes:  uint64(r.refValueBytes.Load()),
+		PeerValueBytes: uint64(r.peerValueBytes.Load()),
 	}
 	r.mu.Lock()
 	for _, w := range r.workers {

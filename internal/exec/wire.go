@@ -38,7 +38,9 @@ import "encoding/gob"
 // (ValueRef, RefValue) and the cache bookkeeping fields of request and
 // response. Version 3 added hello.Token, the fleet join credential that
 // gates the coordinator's listen mode (see Remote.ListenForWorkers).
-const protoVersion = 3
+// Version 4 added the peer-to-peer data plane: hello.PeerAddr/PeerToken,
+// the PeerRef wire form, and the peer counters of response (see peer.go).
+const protoVersion = 4
 
 // hello is the worker → coordinator handshake frame. The worker always
 // sends it first, whichever side dialed: on the classic path the
@@ -56,6 +58,19 @@ type hello struct {
 	// crash presents the same token; the re-admitted worker still gets a
 	// fresh id (its old residency died with the old connection).
 	Token string
+	// PeerAddr is the worker's peer-transfer listener (protocol 4): the
+	// address other workers dial to pull this connection's resident values
+	// directly. Empty when the worker has peer transfers disabled; the host
+	// may be unspecified ("[::]:port" from a :0 bind), in which case the
+	// coordinator substitutes the host it reaches the worker at.
+	PeerAddr string
+	// PeerToken scopes peer fetches to this coordinator connection: it is
+	// minted fresh per connection and names the connection's future cache on
+	// the peer listener (peer.go). A restarted worker at the same address
+	// mints a new token, so PeerRefs built against the old connection can
+	// never be served stale data — they fail token lookup and fall back to
+	// the coordinator Miss/resend path.
+	PeerToken string
 }
 
 // ValueRef names one output of a task executed earlier: (session, task,
@@ -77,6 +92,21 @@ type ValueRef struct {
 type RefValue struct {
 	Ref ValueRef
 	Val any
+}
+
+// PeerRef is a reference plus directions to a holder (protocol 4): the
+// coordinator sends it in place of a RefValue when the value is resident on
+// some *other* alive worker — the executing worker dials Addr, presents
+// Token, and pulls the value over the peer link instead of receiving it
+// through the coordinator. Every failure (holder gone, draining away, wrong
+// token, timeout) degrades the PeerRef into a Miss, which the coordinator
+// answers by re-sending with values inlined — the peer plane is an
+// optimization layered on the Miss/resend correctness backstop, never a new
+// way to get a wrong answer.
+type PeerRef struct {
+	Ref   ValueRef
+	Addr  string // the holder's peer listener (hello.PeerAddr, host fixed up)
+	Token string // the holder connection's PeerToken
 }
 
 // StoredRef reports one cache insertion back to the coordinator, which
@@ -131,6 +161,20 @@ type response struct {
 	RefHits    int
 	RefMisses  int
 
+	// PeerFetched counts arguments this request resolved over the peer
+	// link (a deduplicated transfer still counts once per consuming
+	// request — the counter measures values that did NOT need a coordinator
+	// hop), and PeerValBytes is their total payload size (sizeOfValue
+	// units, comparable with StoredRef.Bytes).
+	PeerFetched  int
+	PeerValBytes int64
+	// PeerSent / PeerRecv are exact wire-byte deltas of this worker
+	// connection's peer traffic (fetch requests sent + values served, and
+	// the mirror image) since the previous response — drained like Evicted,
+	// so summing them coordinator-side yields exact per-link totals.
+	PeerSent int64
+	PeerRecv int64
+
 	// connFailure marks a response fabricated by the coordinator's
 	// failWorker when a connection died — not a reply received from a
 	// worker. Unexported: gob never encodes it, so wire responses always
@@ -139,9 +183,17 @@ type response struct {
 	connFailure bool
 }
 
-func init() {
-	// Reference wire forms travel inside []any and must be registered like
-	// any other argument type.
+// registerWireTypes registers every wire form that travels inside a gob
+// interface field (request.Args elements, peerResponse.Val). The gob
+// registry is process-global, so one registration here serves both the
+// coordinator link and the peer link — and gob.Register itself panics on a
+// conflicting duplicate, so keeping every exec-internal registration in
+// this single helper is the whole duplicate audit: any future second
+// registration site would panic at init.
+func registerWireTypes() {
 	gob.Register(ValueRef{})
 	gob.Register(RefValue{})
+	gob.Register(PeerRef{})
 }
+
+func init() { registerWireTypes() }

@@ -23,6 +23,18 @@ type WorkerConfig struct {
 	// CacheBytes bounds the per-connection future cache (see cache.go).
 	// Default DefaultCacheBytes; <0 disables caching (0 means default).
 	CacheBytes int64
+	// PeerListen is the worker-to-worker transfer listen address (protocol
+	// 4, see peer.go): "" binds ":0" (the default — peer transfers on, any
+	// free port), "off" disables the peer plane for this worker. The bound
+	// address is advertised to the coordinator in the hello; one listener
+	// serves every coordinator connection of the process. Disabling the
+	// cache (CacheBytes < 0) disables the peer plane too — a worker with
+	// nothing resident has nothing to serve.
+	PeerListen string
+	// PeerFetchTimeout bounds one peer fetch (dial + transfer); a fetch
+	// that exceeds it degrades into a Miss and the coordinator re-sends the
+	// value. Default 5s.
+	PeerFetchTimeout time.Duration
 	// Log receives human-readable progress lines; nil discards them.
 	Log io.Writer
 }
@@ -64,29 +76,72 @@ func Serve(l net.Listener, cfg WorkerConfig) error {
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, slots, cacheBytes, logw)
+		go serveConn(conn, slots, cfg, cacheBytes, logw)
 	}
 }
 
-func serveConn(conn net.Conn, slots int, cacheBytes int64, logw io.Writer) {
+func serveConn(conn net.Conn, slots int, cfg WorkerConfig, cacheBytes int64, logw io.Writer) {
 	defer conn.Close()
+	plane := newConnPlane(cacheBytes, cfg, logw)
+	defer plane.close()
 	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots}); err != nil {
+	h := &hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots,
+		PeerAddr: plane.peerAddr, PeerToken: plane.peerTok}
+	if err := enc.Encode(h); err != nil {
 		fmt.Fprintf(logw, "worker: handshake: %v\n", err)
 		return
 	}
-	serveLoop(conn, enc, slots, cacheBytes, logw, nil)
+	serveLoop(conn, enc, slots, plane, logw, nil)
+}
+
+// connPlane is one coordinator connection's data-plane state: the private
+// future cache plus, when the peer plane is on, the peer-serving store
+// registered under this connection's fresh token and the fetcher that pulls
+// PeerRefs from other workers. store and fetcher are nil when peer
+// transfers are disabled (PeerListen "off", cache disabled, or the peer
+// bind failed) — the connection then advertises no PeerAddr and the
+// coordinator routes all values through itself, exactly the protocol-2
+// behaviour.
+type connPlane struct {
+	cache    *futureCache
+	peerAddr string
+	peerTok  string
+	store    *peerStore
+	fetcher  *peerFetcher
+}
+
+func newConnPlane(cacheBytes int64, cfg WorkerConfig, logw io.Writer) *connPlane {
+	p := &connPlane{cache: newFutureCache(cacheBytes)}
+	if cfg.PeerListen == "off" || cacheBytes <= 0 {
+		return p
+	}
+	addr, tok, store := registerPeerStore(p.cache, cfg.PeerListen, logw)
+	if addr == "" {
+		return p
+	}
+	p.peerAddr, p.peerTok, p.store = addr, tok, store
+	p.fetcher = newPeerFetcher(cfg.PeerFetchTimeout)
+	return p
+}
+
+// close retires the connection's peer-plane state: the token stops
+// resolving (the stale-session guard) and the fetch links drop.
+func (p *connPlane) close() {
+	deregisterPeerStore(p.peerTok)
+	if p.fetcher != nil {
+		p.fetcher.close()
+	}
 }
 
 // serveLoop is the post-handshake body of one coordinator connection:
 // decode requests, execute them concurrently (bounded by slots, each
-// resolved against the connection's private future cache), reply in
-// completion order. busy, when non-nil, tracks the connection's in-flight
-// request count (the elastic join pool sizes itself from it). Returns when
-// the connection closes.
-func serveLoop(conn net.Conn, enc *gob.Encoder, slots int, cacheBytes int64, logw io.Writer, busy *atomic.Int64) {
+// resolved against the connection's private future cache and peer fetcher),
+// reply in completion order. busy, when non-nil, tracks the connection's
+// in-flight request count (the elastic join pool sizes itself from it).
+// Returns when the connection closes.
+func serveLoop(conn net.Conn, enc *gob.Encoder, slots int, plane *connPlane, logw io.Writer, busy *atomic.Int64) {
 	var sendMu sync.Mutex
-	cache := newFutureCache(cacheBytes)
+	cache := plane.cache
 	sem := make(chan struct{}, slots)
 	dec := gob.NewDecoder(conn)
 	for {
@@ -108,13 +163,24 @@ func serveLoop(conn net.Conn, enc *gob.Encoder, slots int, cacheBytes int64, log
 				}
 				<-sem
 			}()
-			resp := handle(req, cache)
-			// Eviction reports ride on whichever response is next; draining
-			// immediately before the send keeps each eviction reported
-			// exactly once and at most one response late.
+			resp := handle(req, plane)
+			// Eviction reports (and peer byte deltas) ride on whichever
+			// response is next; draining immediately before the send keeps
+			// each report delivered exactly once and at most one response
+			// late.
 			resp.Evicted = cache.drainEvicted()
 			resp.CacheBytes = cache.occupancy()
 			sendMu.Lock()
+			if plane.store != nil {
+				s, r := plane.store.drainBytes()
+				resp.PeerSent += s
+				resp.PeerRecv += r
+			}
+			if plane.fetcher != nil {
+				s, r := plane.fetcher.drainBytes()
+				resp.PeerSent += s
+				resp.PeerRecv += r
+			}
 			err := enc.Encode(&resp)
 			sendMu.Unlock()
 			if err != nil {
@@ -149,13 +215,17 @@ func JoinCoordinator(addr, token string, cfg WorkerConfig) error {
 		return fmt.Errorf("exec: joining coordinator at %s: %w", addr, err)
 	}
 	defer conn.Close()
+	plane := newConnPlane(cacheBytes, cfg, logw)
+	defer plane.close()
 	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token}); err != nil {
+	h := &hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token,
+		PeerAddr: plane.peerAddr, PeerToken: plane.peerTok}
+	if err := enc.Encode(h); err != nil {
 		return fmt.Errorf("exec: registering with coordinator at %s: %w", addr, err)
 	}
 	fmt.Fprintf(logw, "worker: pid %d joined coordinator %s (%d slots, %d MB cache)\n",
 		os.Getpid(), addr, slots, cacheBytes>>20)
-	serveLoop(conn, enc, slots, cacheBytes, logw, nil)
+	serveLoop(conn, enc, slots, plane, logw, nil)
 	return nil
 }
 
@@ -200,8 +270,19 @@ func JoinPool(addr, token string, min, max int, cfg WorkerConfig) error {
 		if err != nil {
 			return err
 		}
+		cacheBytes := cfg.CacheBytes
+		if cacheBytes == 0 {
+			cacheBytes = DefaultCacheBytes
+		}
+		// Each pool member is an independent fleet member with its own
+		// cache, token and peer store; they all share the process's one
+		// peer listener.
+		plane := newConnPlane(cacheBytes, cfg, logw)
 		enc := gob.NewEncoder(conn)
-		if err := enc.Encode(&hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token}); err != nil {
+		h := &hello{Proto: protoVersion, Pid: os.Getpid(), Slots: slots, Token: token,
+			PeerAddr: plane.peerAddr, PeerToken: plane.peerTok}
+		if err := enc.Encode(h); err != nil {
+			plane.close()
 			conn.Close()
 			return err
 		}
@@ -212,11 +293,8 @@ func JoinPool(addr, token string, min, max int, cfg WorkerConfig) error {
 		mu.Unlock()
 		fmt.Fprintf(logw, "worker: pool member %d registered with %s\n", n, addr)
 		go func() {
-			cacheBytes := cfg.CacheBytes
-			if cacheBytes == 0 {
-				cacheBytes = DefaultCacheBytes
-			}
-			serveLoop(conn, enc, slots, cacheBytes, logw, &m.busy)
+			defer plane.close()
+			serveLoop(conn, enc, slots, plane, logw, &m.busy)
 			m.done.Store(true)
 		}()
 		return nil
@@ -264,26 +342,41 @@ func JoinPool(addr, token string, min, max int, cfg WorkerConfig) error {
 	}
 }
 
+// resolveCounts aggregates the resolution outcomes of one request: cache
+// hits/misses plus the peer fetches performed and their payload volume
+// (sizeOfValue units, the coordinator's RefValueBytes/PeerValueBytes
+// partition).
+type resolveCounts struct {
+	hits, misses int
+	peerFetched  int
+	peerValBytes int64
+}
+
 // resolveArgs walks the request arguments replacing wire references with
 // values: a ValueRef is looked up in the cache (the hit hands the body a
 // private clone), a RefValue contributes its inline value and seeds the
-// cache under its identity. Nested references inside a []any argument (the
-// wire form of a []*Future parameter) resolve the same way.
+// cache under its identity, and a PeerRef is pulled from the named holder
+// over the peer link (protocol 4) — the fetched value is cached like a
+// RefValue replica, so the next co-located consumer resolves it locally.
+// Nested references inside a []any argument (the wire form of a []*Future
+// parameter) resolve the same way.
 //
-// When any ValueRef misses, resolution fails as a whole: the returned miss
-// list is non-empty, and the caller must not run the body. Stored
-// insertions performed before the miss was discovered are still real (and
-// still reported) — the resent request will find them resident.
-func resolveArgs(args []any, cache *futureCache) (resolved []any, miss []ValueRef, stored []StoredRef, hits, misses int) {
+// When any ValueRef misses — or a PeerRef cannot be fetched (holder gone,
+// wrong token, timeout, peer plane off) — resolution fails as a whole: the
+// returned miss list is non-empty, and the caller must not run the body.
+// Stored insertions performed before the miss was discovered are still real
+// (and still reported) — the resent request will find them resident.
+func resolveArgs(args []any, plane *connPlane) (resolved []any, miss []ValueRef, stored []StoredRef, rc resolveCounts) {
+	cache := plane.cache
 	var resolveOne func(v any) any
 	resolveOne = func(v any) any {
 		switch x := v.(type) {
 		case ValueRef:
 			if val, ok := cache.get(x); ok {
-				hits++
+				rc.hits++
 				return val
 			}
-			misses++
+			rc.misses++
 			miss = append(miss, x)
 			return nil
 		case RefValue:
@@ -291,6 +384,29 @@ func resolveArgs(args []any, cache *futureCache) (resolved []any, miss []ValueRe
 				stored = append(stored, StoredRef{Ref: x.Ref, Bytes: n})
 			}
 			return x.Val
+		case PeerRef:
+			// The coordinator believed the value resident elsewhere — but a
+			// local copy may exist anyway (an earlier fetch or replica the
+			// coordinator's advisory map missed); prefer it.
+			if val, ok := cache.get(x.Ref); ok {
+				rc.hits++
+				return val
+			}
+			if plane.fetcher != nil {
+				if val, err := plane.fetcher.fetch(x.Addr, x.Token, x.Ref); err == nil {
+					rc.peerFetched++
+					rc.peerValBytes += sizeOfValue(val)
+					if n, ok := cache.put(x.Ref, val); ok {
+						stored = append(stored, StoredRef{Ref: x.Ref, Bytes: n})
+					}
+					return val
+				}
+			}
+			// Fetch failed (or no fetcher): degrade into an ordinary Miss —
+			// the coordinator re-sends with the value inlined.
+			rc.misses++
+			miss = append(miss, x.Ref)
+			return nil
 		case []any:
 			out := make([]any, len(x))
 			for i, e := range x {
@@ -305,15 +421,17 @@ func resolveArgs(args []any, cache *futureCache) (resolved []any, miss []ValueRe
 	for i, a := range args {
 		resolved[i] = resolveOne(a)
 	}
-	return resolved, miss, stored, hits, misses
+	return resolved, miss, stored, rc
 }
 
 // handle executes one request with panic containment: a panicking body
 // fails its request, not the worker process, mirroring the in-process
 // runtime's panic→error conversion. Reference arguments are resolved
-// against the connection's future cache first; an unresolvable reference
-// turns the request into a Miss reply without running the body.
-func handle(req request, cache *futureCache) (resp response) {
+// against the connection's future cache (and peer fetcher) first; an
+// unresolvable reference turns the request into a Miss reply without
+// running the body.
+func handle(req request, plane *connPlane) (resp response) {
+	cache := plane.cache
 	resp.ID = req.ID
 	defer func() {
 		if r := recover(); r != nil {
@@ -321,10 +439,12 @@ func handle(req request, cache *futureCache) (resp response) {
 			resp.Err = fmt.Sprintf("%s: panic: %v", req.Name, r)
 		}
 	}()
-	args, miss, stored, hits, misses := resolveArgs(req.Args, cache)
+	args, miss, stored, rc := resolveArgs(req.Args, plane)
 	resp.Stored = stored
-	resp.RefHits = hits
-	resp.RefMisses = misses
+	resp.RefHits = rc.hits
+	resp.RefMisses = rc.misses
+	resp.PeerFetched = rc.peerFetched
+	resp.PeerValBytes = rc.peerValBytes
 	if len(miss) > 0 {
 		resp.Miss = miss
 		return resp
@@ -357,6 +477,9 @@ const (
 	workerEnvCacheMB = "TASKML_EXEC_CACHE_MB"
 	workerEnvCoord   = "TASKML_EXEC_COORD"
 	workerEnvToken   = "TASKML_EXEC_TOKEN"
+	// workerEnvPeer carries WorkerConfig.PeerListen to a re-exec'd child
+	// ("off" disables the peer plane; unset keeps the default ":0").
+	workerEnvPeer = "TASKML_EXEC_PEER"
 	// workerReadyPrefix is the machine-readable first stdout line carrying
 	// the bound address back to the spawning coordinator.
 	workerReadyPrefix = "TASKML_WORKER_LISTENING "
@@ -393,9 +516,10 @@ func MaybeWorkerMain() {
 			}
 		}
 	}
+	peerListen := os.Getenv(workerEnvPeer)
 	if coord != "" {
 		err := JoinCoordinator(coord, os.Getenv(workerEnvToken),
-			WorkerConfig{Slots: slots, CacheBytes: cacheBytes, Log: os.Stderr})
+			WorkerConfig{Slots: slots, CacheBytes: cacheBytes, PeerListen: peerListen, Log: os.Stderr})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
 			os.Exit(1)
@@ -408,7 +532,7 @@ func MaybeWorkerMain() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s%s\n", workerReadyPrefix, l.Addr())
-	err = Serve(l, WorkerConfig{Slots: slots, CacheBytes: cacheBytes, Log: os.Stderr})
+	err = Serve(l, WorkerConfig{Slots: slots, CacheBytes: cacheBytes, PeerListen: peerListen, Log: os.Stderr})
 	fmt.Fprintf(os.Stderr, "worker: %v\n", err)
 	os.Exit(1)
 }

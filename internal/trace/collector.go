@@ -446,10 +446,10 @@ func renderEvents(t *Trace, origin time.Time, events []compss.Event) {
 // lanes, the fleet lane, and their counters.
 const cachePid = 1
 
-// renderCacheRows emits the per-worker cache hit/miss instant rows and the
-// multi-series "resident bytes" counter, all on the same clock as the task
-// slices; it returns the number of lanes it used (the fleet lane starts
-// after them).
+// renderCacheRows emits the per-worker cache hit/miss and peer-fetch
+// instant rows and the multi-series "resident bytes" counter, all on the
+// same clock as the task slices; it returns the number of lanes it used
+// (the fleet lane starts after them).
 func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) int {
 	if len(samples) == 0 {
 		return 0
@@ -485,6 +485,13 @@ func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) int {
 				Name: name, Cat: "cache", Ph: "i", Ts: ts,
 				Pid: cachePid, Tid: lane, Scope: "t",
 				Args: map[string]any{"task": s.Task, "hits": s.Hits, "misses": s.Misses},
+			})
+		}
+		if s.PeerFetches > 0 {
+			t.Add(TraceEvent{
+				Name: "peer fetch", Cat: "cache", Ph: "i", Ts: ts,
+				Pid: cachePid, Tid: lane, Scope: "t",
+				Args: map[string]any{"task": s.Task, "fetches": s.PeerFetches},
 			})
 		}
 		occupancy[s.Worker] = s.CacheBytes

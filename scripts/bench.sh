@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR8.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR9.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
@@ -24,6 +24,14 @@
 # wall clock, exact bytes on the wire, cache hit rate. That is the
 # refs-vs-values comparison the worker future cache exists for.
 #
+# The p2p sweep runs the same reduction at 2/4/8 workers in three data-plane
+# modes — refs (coordinator-routed references, -exec-p2p=false), p2p (the
+# default: direct worker-to-worker pulls with the coordinator demoted to
+# metadata), values (-exec-refs=false, the protocol-1 baseline) — and
+# records them as "p2p:*" entries. The peer_bytes_sent/ref_value_bytes
+# fields in each row are the exact byte partition: the fraction of
+# inter-task payload that moved over peer links instead of the coordinator.
+#
 # The elasticity sweep at the end runs the same reduction bursty — a small
 # block size multiplies the task count — on a fixed 4-worker fleet and on
 # an autoscaled 1–8 fleet, and records both as "elastic:*" entries: wall
@@ -34,7 +42,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 micro=${BENCHTIME_MICRO:-2000x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)
@@ -103,6 +111,20 @@ reduce local -backend=local
 reduce remote-refs -backend=remote -loopback-workers=2 -slots=1
 reduce remote-values -backend=remote -loopback-workers=2 -slots=1 -exec-refs=false
 
+# Peer data plane: the reduction again at 2/4/8 workers, three data planes
+# each. P2P_FLAGS can shrink the problem the same way REDUCE_FLAGS does.
+p2p() {
+    name=$1; shift
+    echo "== scaling -exp reduce ($name): $*"
+    "$scaling" -exp reduce ${P2P_FLAGS:-} "$@" |
+        sed -n "s/^REDUCEBENCH /  \"p2p:$name\": /p" >> "$rtmp"
+}
+for w in 2 4 8; do
+    p2p "refs-$w" -backend=remote -loopback-workers="$w" -slots=1 -exec-p2p=false
+    p2p "p2p-$w" -backend=remote -loopback-workers="$w" -slots=1
+    p2p "values-$w" -backend=remote -loopback-workers="$w" -slots=1 -exec-refs=false
+done
+
 # Elasticity: the same reduction, made bursty (75-row blocks → 4× the leaf
 # tasks), on a fixed fleet vs an autoscaled one that must grow from one
 # worker under load and drain back when the tree narrows. ELASTIC_FLAGS can
@@ -123,4 +145,4 @@ sed 's/$/,/' "$rtmp" >> "$out"
 sed -i '$ s/,$//' "$out"      # the final entry carries no comma
 echo "}" >> "$out"
 
-echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs, $(grep -c '"elastic:' "$out") elasticity runs)"
+echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs, $(grep -c '"p2p:' "$out") p2p runs, $(grep -c '"elastic:' "$out") elasticity runs)"

@@ -70,6 +70,17 @@ echo "== go test -race -count=2 -run 'TestFleet|TestHysteresisPolicy|TestOpenRej
 go test -race -count=2 -run 'TestFleet|TestHysteresisPolicy|TestOpenRejects' ./internal/exec/
 echo "== go test -race -count=2 -run 'TestRemoteKillThenRejoinParity' ./internal/core/"
 go test -race -count=2 -run 'TestRemoteKillThenRejoinParity' ./internal/core/
+
+# The peer data plane adds a second wire surface (worker-to-worker pulls)
+# whose failure modes — holder killed mid-fetch, stale session tokens,
+# poisoned addresses, concurrent duplicate fetches collapsing to one
+# transfer — must all fall back to the coordinator Miss path without
+# corrupting results. Pin them by name, plus the mid-run-kill parity test
+# that proves bit-identity survives a holder dying under the p2p plane.
+echo "== go test -race -count=2 -run 'TestPeer' ./internal/exec/"
+go test -race -count=2 -run 'TestPeer' ./internal/exec/
+echo "== go test -race -count=2 -run 'TestRemotePeerKillParity' ./internal/core/"
+go test -race -count=2 -run 'TestRemotePeerKillParity' ./internal/core/
 echo "== go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/"
 go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/
 
