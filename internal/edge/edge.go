@@ -60,59 +60,184 @@ type Event struct {
 	Alarm bool
 }
 
-// Monitor consumes a sample stream incrementally and classifies sliding
-// windows. It is a plain state machine (no goroutines): push samples, get
-// events.
-type Monitor struct {
-	cfg         Config
-	classify    Classifier
-	featurize   Featurizer
-	buf         []float64
-	consumed    int // samples dropped from the front of buf
-	winLen      int
-	stride      int
+// Validate checks the sampling rate and window geometry (NewMonitor and
+// the serving layer share it).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Fs <= 0 {
+		return errors.New("edge: Fs must be positive")
+	}
+	if c.StrideSec <= 0 || c.WindowSec <= 0 || c.StrideSec > c.WindowSec {
+		return fmt.Errorf("edge: invalid window %gs / stride %gs", c.WindowSec, c.StrideSec)
+	}
+	return nil
+}
+
+// WindowSamples returns the analysis window length in samples.
+func (c Config) WindowSamples() int {
+	c = c.withDefaults()
+	return int(c.WindowSec * c.Fs)
+}
+
+// StrideSamples returns the hop between consecutive windows in samples.
+func (c Config) StrideSamples() int {
+	c = c.withDefaults()
+	return int(c.StrideSec * c.Fs)
+}
+
+// Windower cuts fixed-length sliding windows from an incrementally pushed
+// sample stream. It is the buffering half of a Monitor, split out so a
+// serving coordinator can cut windows synchronously while scoring them
+// elsewhere.
+type Windower struct {
+	buf      []float64
+	consumed int // samples dropped from the front of buf
+	winLen   int
+	stride   int
+}
+
+// NewWindower builds a windower over winLen-sample windows advancing by
+// stride samples.
+func NewWindower(winLen, stride int) (*Windower, error) {
+	if winLen <= 0 || stride <= 0 || stride > winLen {
+		return nil, fmt.Errorf("edge: invalid window %d / stride %d samples", winLen, stride)
+	}
+	return &Windower{winLen: winLen, stride: stride}, nil
+}
+
+// Push appends samples to the stream.
+func (w *Windower) Push(samples ...float64) { w.buf = append(w.buf, samples...) }
+
+// Peek returns the next complete analysis window, or ok=false when fewer
+// than a window's worth of samples are buffered. The returned slice is a
+// view into the internal buffer, valid until the next Push: callers that
+// retain the window past that must copy it. endSample is the stream index
+// one past the window's last sample (Event.TimeSec = endSample / Fs).
+func (w *Windower) Peek() (window []float64, endSample int, ok bool) {
+	if len(w.buf) < w.winLen {
+		return nil, 0, false
+	}
+	return w.buf[:w.winLen:w.winLen], w.consumed + w.winLen, true
+}
+
+// Advance consumes the window Peek returned, moving the stream forward by
+// one stride. It is a no-op when no complete window is buffered.
+func (w *Windower) Advance() {
+	if len(w.buf) < w.winLen {
+		return
+	}
+	w.buf = w.buf[w.stride:]
+	w.consumed += w.stride
+}
+
+// Buffered returns the number of samples currently held.
+func (w *Windower) Buffered() int { return len(w.buf) }
+
+// Debouncer turns one stream's ordered per-window label sequence into
+// events, applying the consecutive-positive alarm rule. It is the decision
+// half of a Monitor: feed it every window's label in stream order and it
+// reproduces Monitor's events exactly. A window that was never scored
+// (e.g. shed under overload by the serving layer) is represented by *not*
+// calling Apply for it — a gap neither extends nor resets the
+// consecutive-positive chain, so a dropped window can never mask an
+// ongoing episode.
+type Debouncer struct {
+	fs          float64
+	alarmAfter  int
+	positive    int
 	consecPos   int
 	alarmRaised bool
+}
+
+// NewDebouncer builds a debouncer from the monitor configuration (Fs,
+// AlarmAfter and PositiveLabel are used; defaults apply).
+func NewDebouncer(cfg Config) *Debouncer {
+	cfg = cfg.withDefaults()
+	return &Debouncer{fs: cfg.Fs, alarmAfter: cfg.AlarmAfter, positive: cfg.PositiveLabel}
+}
+
+// Apply records the label of the window ending at endSample and returns
+// its event, with Alarm set on the event that crosses the debounce
+// threshold.
+func (d *Debouncer) Apply(endSample, label int) Event {
+	ev := Event{TimeSec: float64(endSample) / d.fs, Label: label}
+	if label == d.positive {
+		d.consecPos++
+		if d.consecPos >= d.alarmAfter && !d.alarmRaised {
+			d.alarmRaised = true
+			ev.Alarm = true
+		}
+	} else {
+		d.consecPos = 0
+	}
+	return ev
+}
+
+// AlarmRaised reports whether the alarm has fired.
+func (d *Debouncer) AlarmRaised() bool { return d.alarmRaised }
+
+// Reset clears the alarm and debounce state.
+func (d *Debouncer) Reset() {
+	d.consecPos = 0
+	d.alarmRaised = false
+}
+
+// Monitor consumes a sample stream incrementally and classifies sliding
+// windows. It is a plain state machine (no goroutines): push samples, get
+// events. Internally it is a Windower feeding a Debouncer with the
+// featurize+classify step run synchronously in between; the serving layer
+// (internal/serve) composes the same two halves around asynchronous
+// micro-batched scoring, which is what keeps its alarms bit-identical to
+// this path.
+type Monitor struct {
+	cfg       Config
+	classify  Classifier
+	featurize Featurizer
+	win       *Windower
+	deb       *Debouncer
 }
 
 // NewMonitor builds a streaming monitor.
 func NewMonitor(cfg Config, featurize Featurizer, classify Classifier) (*Monitor, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Fs <= 0 {
-		return nil, errors.New("edge: Fs must be positive")
-	}
-	if cfg.StrideSec <= 0 || cfg.WindowSec <= 0 || cfg.StrideSec > cfg.WindowSec {
-		return nil, fmt.Errorf("edge: invalid window %gs / stride %gs", cfg.WindowSec, cfg.StrideSec)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if featurize == nil || classify == nil {
 		return nil, errors.New("edge: featurizer and classifier are required")
+	}
+	win, err := NewWindower(cfg.WindowSamples(), cfg.StrideSamples())
+	if err != nil {
+		return nil, err
 	}
 	return &Monitor{
 		cfg:       cfg,
 		classify:  classify,
 		featurize: featurize,
-		winLen:    int(cfg.WindowSec * cfg.Fs),
-		stride:    int(cfg.StrideSec * cfg.Fs),
+		win:       win,
+		deb:       NewDebouncer(cfg),
 	}, nil
 }
 
 // AlarmRaised reports whether the alarm has fired.
-func (m *Monitor) AlarmRaised() bool { return m.alarmRaised }
+func (m *Monitor) AlarmRaised() bool { return m.deb.AlarmRaised() }
 
 // Reset clears the alarm and debounce state (the stream position is kept).
-func (m *Monitor) Reset() {
-	m.consecPos = 0
-	m.alarmRaised = false
-}
+func (m *Monitor) Reset() { m.deb.Reset() }
 
 // Push appends samples to the stream and returns the events of every
 // analysis window completed by them. Splitting the same stream into
-// different Push chunk sizes yields identical events.
+// different Push chunk sizes yields identical events. On a featurizer or
+// classifier error the failing window stays buffered (a later Push retries
+// it) and the events already raised are returned alongside the error.
 func (m *Monitor) Push(samples ...float64) ([]Event, error) {
-	m.buf = append(m.buf, samples...)
+	m.win.Push(samples...)
 	var events []Event
-	for len(m.buf) >= m.winLen {
-		window := m.buf[:m.winLen]
+	for {
+		window, end, ok := m.win.Peek()
+		if !ok {
+			break
+		}
 		feats, err := m.featurize(window, m.cfg.Fs)
 		if err != nil {
 			return events, fmt.Errorf("edge: featurize: %w", err)
@@ -121,20 +246,8 @@ func (m *Monitor) Push(samples ...float64) ([]Event, error) {
 		if err != nil {
 			return events, fmt.Errorf("edge: classify: %w", err)
 		}
-		end := float64(m.consumed+m.winLen) / m.cfg.Fs
-		ev := Event{TimeSec: end, Label: label}
-		if label == m.cfg.PositiveLabel {
-			m.consecPos++
-			if m.consecPos >= m.cfg.AlarmAfter && !m.alarmRaised {
-				m.alarmRaised = true
-				ev.Alarm = true
-			}
-		} else {
-			m.consecPos = 0
-		}
-		events = append(events, ev)
-		m.buf = m.buf[m.stride:]
-		m.consumed += m.stride
+		m.win.Advance()
+		events = append(events, m.deb.Apply(end, label))
 	}
 	return events, nil
 }

@@ -17,8 +17,7 @@
 //   - Dial / SpawnLoopback construct a *Remote coordinator; Serve,
 //     JoinCoordinator / JoinPool and MaybeWorkerMain are the worker side;
 //     cmd/worker wraps them in a standalone binary. Config / Flags / Open
-//     are the shared backend flag surface of the cmd tools (replacing the
-//     deprecated BackendOptions / OpenBackend).
+//     are the shared backend flag surface of the cmd tools.
 //   - Fleet is the membership surface (Join / Drain / Leave / Workers /
 //     SlotTotal / SlotCeiling / Watch), implemented by *Remote: workers
 //     join, drain and leave mid-run, ListenForWorkers admits dial-in

@@ -343,20 +343,20 @@ func TestDialErrors(t *testing.T) {
 }
 
 func TestOpenBackend(t *testing.T) {
-	b, err := exec.OpenBackend(exec.BackendOptions{Mode: "local"})
+	b, err := exec.Open(exec.Config{Backend: "local"})
 	if err != nil || b != nil {
-		t.Fatalf("OpenBackend(local) = %v, %v; want nil backend (in-process execution)", b, err)
+		t.Fatalf("Open(local) = %v, %v; want nil backend (in-process execution)", b, err)
 	}
-	if _, err := exec.OpenBackend(exec.BackendOptions{Mode: "bogus"}); err == nil {
-		t.Fatal("OpenBackend with an unknown mode should error")
+	if _, err := exec.Open(exec.Config{Backend: "bogus"}); err == nil {
+		t.Fatal("Open with an unknown backend should error")
 	}
-	r, err := exec.OpenBackend(exec.BackendOptions{Mode: "remote", LoopbackWorkers: 1, Slots: 1})
+	r, err := exec.Open(exec.Config{Backend: "remote", Workers: 1, Slots: 1, Refs: true, P2P: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer r.Close()
 	if _, _, err := r.ExecuteTask(&exec.Request{Name: "test_add", NOut: 1, Args: []any{1.0, 2.0}, TaskID: -1}); err != nil {
-		t.Fatalf("loopback backend from OpenBackend: %v", err)
+		t.Fatalf("loopback backend from Open: %v", err)
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 // Config is the one-stop backend configuration shared by the cmd tools: a
 // single struct covering backend selection, fleet sizing, the data plane,
 // and elasticity, with Flags binding the standard flag set and Open
-// interpreting the result. It replaces the BackendOptions bundle and the
-// per-tool flag scatter.
+// interpreting the result. It replaces the per-tool flag scatter the cmd
+// tools grew before PR 8.
 type Config struct {
 	// Backend selects the execution backend: "" or "local" → nil
 	// (in-process), "remote" → Dial Peers, or SpawnLoopback when Peers is
@@ -165,40 +165,4 @@ func Open(cfg Config) (Backend, error) {
 		}
 	}
 	return r, nil
-}
-
-// BackendOptions is the pre-Config backend selection bundle.
-//
-// Deprecated: use Config, which adds the fleet-lifecycle surface (listen
-// mode, autoscaling) under the same flag names. BackendOptions is kept one
-// release for out-of-tree callers and maps 1:1 onto Config.
-type BackendOptions struct {
-	// Mode selects the backend: "" or "local" → nil (in-process), "remote"
-	// → Dial Peers, or SpawnLoopback when Peers is empty.
-	Mode string
-	// Peers is a comma-separated worker address list for Mode "remote".
-	Peers string
-	// LoopbackWorkers is how many workers SpawnLoopback starts when Peers
-	// is empty (default 2).
-	LoopbackWorkers int
-	// Slots is the per-worker concurrent-body count for spawned workers.
-	Slots int
-	// CacheMB bounds each spawned worker's future cache in MiB; 0 keeps the
-	// worker default (DefaultCacheBytes), <0 disables worker caching.
-	CacheMB int
-	// NoRefs disables the reference data plane coordinator-side (values
-	// baseline; see RemoteConfig.NoRefs).
-	NoRefs bool
-}
-
-// OpenBackend interprets opts exactly as Open interprets the equivalent
-// Config.
-//
-// Deprecated: use Open(Config{...}).
-func OpenBackend(opts BackendOptions) (Backend, error) {
-	return Open(Config{
-		Backend: opts.Mode, Peers: opts.Peers,
-		Workers: opts.LoopbackWorkers, Slots: opts.Slots,
-		CacheMB: opts.CacheMB, Refs: !opts.NoRefs, P2P: !opts.NoRefs,
-	})
 }

@@ -1,0 +1,50 @@
+package serve
+
+import "time"
+
+// histBase is the upper bound of the first latency bucket.
+const histBase = 50 * time.Microsecond
+
+// latHist is a fixed log₂-bucket latency histogram: bucket 0 counts
+// observations below histBase, bucket b counts [histBase·2^(b-1),
+// histBase·2^b). Quantile returns the upper bound of the bucket holding
+// the requested rank, so reported quantiles are conservative (rounded up)
+// and resolution degrades with magnitude — the right trade for SLO math,
+// where 12 ms vs 14 ms never changes an admission decision but 50 ms vs
+// 500 ms does. The zero value is ready to use; callers provide locking.
+type latHist struct {
+	n       int64
+	buckets [32]int64
+}
+
+func (h *latHist) add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := 0
+	for t := histBase; b < len(h.buckets)-1 && d >= t; b++ {
+		t *= 2
+	}
+	h.buckets[b]++
+	h.n++
+}
+
+// quantile returns an upper bound for the q-quantile (q in [0, 1]), or 0
+// when the histogram is empty.
+func (h *latHist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.n-1)) + 1
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			return histBase << b
+		}
+	}
+	return histBase << (len(h.buckets) - 1)
+}

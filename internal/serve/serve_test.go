@@ -1,0 +1,499 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskml/internal/compss"
+	"taskml/internal/edge"
+)
+
+// vclock is the virtual clock driving the deterministic batcher tests: the
+// test advances it explicitly and calls flushDue itself (a non-nil
+// Config.Now disables the background flusher).
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVclock() *vclock { return &vclock{t: time.Unix(1000, 0)} }
+
+func (c *vclock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// batchLog records every scored batch's size.
+type batchLog struct {
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (b *batchLog) record(n int) {
+	b.mu.Lock()
+	b.sizes = append(b.sizes, n)
+	b.mu.Unlock()
+}
+
+func (b *batchLog) get() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.sizes...)
+}
+
+// constScorer labels every window `label`, recording batch sizes.
+func constScorer(log *batchLog, label int) Scorer {
+	return func(tc *compss.TaskCtx, windows [][]float64, fs float64) *compss.Future {
+		if log != nil {
+			log.record(len(windows))
+		}
+		n := len(windows)
+		return tc.Submit(compss.Opts{Name: "score"}, func(tc *compss.TaskCtx, args []any) (any, error) {
+			labels := make([]int, n)
+			for i := range labels {
+				labels[i] = label
+			}
+			return labels, nil
+		})
+	}
+}
+
+// testConfig is the shared geometry: 1 s windows, 1 s stride, 10 Hz — one
+// window per 10 samples, no overlap, so window counts are easy to reason
+// about.
+func testConfig() edge.Config {
+	return edge.Config{Fs: 10, WindowSec: 1, StrideSec: 1, AlarmAfter: 2}
+}
+
+func TestServeBatcherSizeFlush(t *testing.T) {
+	clk := newVclock()
+	log := &batchLog{}
+	rt := compss.New(compss.Config{Workers: 2})
+	s, err := New(rt, Config{
+		Window:       testConfig(),
+		Score:        constScorer(log, 1),
+		MaxBatch:     4,
+		MaxDelay:     time.Hour,
+		StreamBuffer: 100,
+		Now:          clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 samples = 4 windows = exactly one size-triggered batch.
+	if err := st.Push(make([]float64, 40)...); err != nil {
+		t.Fatal(err)
+	}
+	s.WaitIdle()
+	if got := log.get(); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("size flush batches = %v, want [4]", got)
+	}
+	// 3 more windows stay pending: under MaxBatch and the deadline is far.
+	if err := st.Push(make([]float64, 30)...); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.Metrics(); m.Pending != 3 || m.Batches != 1 {
+		t.Fatalf("pending=%d batches=%d, want 3 pending and 1 batch", m.Pending, m.Batches)
+	}
+	s.Flush()
+	s.WaitIdle()
+	if got := log.get(); !reflect.DeepEqual(got, []int{4, 3}) {
+		t.Fatalf("after Flush batches = %v, want [4 3]", got)
+	}
+	m := s.Metrics()
+	if m.Windows != 7 || m.Scored != 7 || m.Pending != 0 || m.Shed != 0 {
+		t.Fatalf("metrics = %+v, want 7 windows all scored", m)
+	}
+}
+
+func TestServeBatcherDeadlineFlush(t *testing.T) {
+	clk := newVclock()
+	log := &batchLog{}
+	rt := compss.New(compss.Config{Workers: 2})
+	s, err := New(rt, Config{
+		Window:       testConfig(),
+		Score:        constScorer(log, 1),
+		MaxBatch:     64,
+		MaxDelay:     5 * time.Millisecond,
+		StreamBuffer: 100,
+		Now:          clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Admit()
+	if err := st.Push(make([]float64, 20)...); err != nil { // 2 windows
+		t.Fatal(err)
+	}
+	s.flushDue()
+	if m := s.Metrics(); m.Pending != 2 || m.Batches != 0 {
+		t.Fatalf("flushed before the deadline: %+v", m)
+	}
+	clk.advance(6 * time.Millisecond)
+	s.flushDue()
+	s.WaitIdle()
+	if got := log.get(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("deadline flush batches = %v, want [2]", got)
+	}
+	if m := s.Metrics(); m.Scored != 2 || m.Pending != 0 {
+		t.Fatalf("metrics after deadline flush = %+v", m)
+	}
+}
+
+func TestServeAdmissionMaxStreams(t *testing.T) {
+	clk := newVclock()
+	rt := compss.New(compss.Config{Workers: 1})
+	s, err := New(rt, Config{
+		Window:     testConfig(),
+		Score:      constScorer(nil, 1),
+		MaxStreams: 3,
+		Now:        clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]*Stream, 3)
+	for i := range streams {
+		if streams[i], err = s.Admit(); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	_, err = s.Admit()
+	var capErr *CapacityError
+	if !errors.As(err, &capErr) {
+		t.Fatalf("4th Admit err = %v, want *CapacityError", err)
+	}
+	if capErr.Streams != 3 {
+		t.Fatalf("CapacityError.Streams = %d, want 3", capErr.Streams)
+	}
+	// Closing a stream frees its admission slot.
+	streams[0].Close()
+	if _, err := s.Admit(); err != nil {
+		t.Fatalf("Admit after Close: %v", err)
+	}
+	if m := s.Metrics(); m.Rejected != 1 || m.Admitted != 4 {
+		t.Fatalf("admitted=%d rejected=%d, want 4/1", m.Admitted, m.Rejected)
+	}
+}
+
+func TestServeAdmissionSLOProjection(t *testing.T) {
+	clk := newVclock()
+	rt := compss.New(compss.Config{Workers: 1})
+	s, err := New(rt, Config{
+		Window: testConfig(), // 1 s stride: each stream offers 1 window/s
+		Score:  constScorer(nil, 1),
+		SLO:    10 * time.Second,
+		Slots:  1,
+		Now:    clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the measured service time: 50 ms/window on 1 slot = 20
+	// windows/s capacity. Headroom 0.85 admits while n·1win/s < 17.
+	s.mu.Lock()
+	s.svcEWMA = 0.05
+	s.mu.Unlock()
+	admitted := 0
+	var rejectErr error
+	for i := 0; i < 100; i++ {
+		if _, err := s.Admit(); err != nil {
+			rejectErr = err
+			break
+		}
+		admitted++
+	}
+	if admitted != 16 {
+		t.Fatalf("admitted %d streams, want 16 (headroom 0.85 of 20 win/s)", admitted)
+	}
+	var capErr *CapacityError
+	if !errors.As(rejectErr, &capErr) {
+		t.Fatalf("rejection err = %v, want *CapacityError", rejectErr)
+	}
+	if capErr.Projected <= capErr.SLO {
+		t.Fatalf("projected %v should exceed SLO %v", capErr.Projected, capErr.SLO)
+	}
+
+	// A tight SLO rejects even the first stream once a service time is
+	// measured: base latency alone (MaxDelay + svc) exceeds it.
+	s2, err := New(rt, Config{
+		Window: testConfig(),
+		Score:  constScorer(nil, 1),
+		SLO:    time.Millisecond,
+		Slots:  1,
+		Now:    clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.mu.Lock()
+	s2.svcEWMA = 0.05
+	s2.mu.Unlock()
+	if _, err := s2.Admit(); !errors.As(err, &capErr) {
+		t.Fatalf("tight-SLO Admit err = %v, want *CapacityError", err)
+	}
+}
+
+func TestServeBackpressureShedding(t *testing.T) {
+	clk := newVclock()
+	log := &batchLog{}
+	var shedSamples atomic.Int64
+	rt := compss.New(compss.Config{Workers: 2})
+	var s *Server
+	s, err := New(rt, Config{
+		Window:       testConfig(),
+		Score:        constScorer(log, 0), // every window positive (AF)
+		MaxBatch:     100,
+		MaxDelay:     time.Hour,
+		StreamBuffer: 2,
+		RecordEvents: true,
+		Now:          clk.now,
+		Hook: func(sm Sample) {
+			if sm.Kind == "shed" {
+				shedSamples.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Admit()
+	// 5 windows against a 2-window ingress buffer: the 3 oldest shed.
+	if err := st.Push(make([]float64, 50)...); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.Windows != 5 || stats.Shed != 3 {
+		t.Fatalf("stream stats = %+v, want 5 windows / 3 shed", stats)
+	}
+	if m := s.Metrics(); m.Shed != 3 || m.Pending != 2 {
+		t.Fatalf("server metrics = %+v, want shed 3 / pending 2", m)
+	}
+	if got := shedSamples.Load(); got != 3 {
+		t.Fatalf("shed hook samples = %d, want 3", got)
+	}
+	s.Flush()
+	s.WaitIdle()
+	// Shed windows never reach a batch: only the 2 survivors score.
+	if got := log.get(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("batches = %v, want [2] (shed windows excluded)", got)
+	}
+	// The 3 shed windows are gaps, not resets: the 2 surviving positive
+	// windows are consecutive to the debouncer and raise the alarm
+	// (AlarmAfter=2).
+	if !st.AlarmRaised() {
+		t.Fatal("alarm not raised: shed windows must not reset the debounce chain")
+	}
+	if stats := st.Stats(); stats.Scored != 2 || stats.Alarms != 1 {
+		t.Fatalf("stream stats = %+v, want 2 scored / 1 alarm", stats)
+	}
+	// Events carry only applied windows, ending with the alarm.
+	evs := st.Events()
+	if len(evs) != 2 || !evs[1].Alarm {
+		t.Fatalf("events = %+v, want 2 applied events with alarm on the last", evs)
+	}
+}
+
+func TestServeScoreErrorSkips(t *testing.T) {
+	clk := newVclock()
+	var fail atomic.Bool
+	rt := compss.New(compss.Config{Workers: 2})
+	scorer := func(tc *compss.TaskCtx, windows [][]float64, fs float64) *compss.Future {
+		n := len(windows)
+		return tc.Submit(compss.Opts{Name: "score"}, func(tc *compss.TaskCtx, args []any) (any, error) {
+			if fail.Load() {
+				return nil, errors.New("injected scoring failure")
+			}
+			labels := make([]int, n)
+			return labels, nil // all positive (label 0)
+		})
+	}
+	s, err := New(rt, Config{
+		Window:       testConfig(),
+		Score:        scorer,
+		MaxBatch:     100,
+		MaxDelay:     time.Hour,
+		StreamBuffer: 100,
+		RecordEvents: true,
+		Now:          clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.Admit()
+	push := func() {
+		t.Helper()
+		if err := st.Push(make([]float64, 10)...); err != nil {
+			t.Fatal(err)
+		}
+		s.Flush()
+		s.WaitIdle()
+	}
+	push() // window 1: positive, chain = 1
+	fail.Store(true)
+	push() // window 2: scoring fails → skipped, chain untouched
+	fail.Store(false)
+	push() // window 3: positive, chain = 2 → alarm
+	m := s.Metrics()
+	if m.ScoreErrors != 1 || m.Scored != 2 {
+		t.Fatalf("metrics = %+v, want 1 score error / 2 scored", m)
+	}
+	if !st.AlarmRaised() || m.Alarms != 1 {
+		t.Fatal("alarm not raised: a failed batch must skip, not reset, the debounce chain")
+	}
+}
+
+// parityModel is the deterministic featurize+classify pair shared by the
+// served and batch paths in the parity test.
+func parityFeaturize(window []float64, fs float64) ([]float64, error) {
+	var mean, sq float64
+	for _, v := range window {
+		mean += v
+	}
+	mean /= float64(len(window))
+	for _, v := range window {
+		sq += (v - mean) * (v - mean)
+	}
+	return []float64{mean, math.Sqrt(sq / float64(len(window)))}, nil
+}
+
+func parityClassify(feats []float64) (int, error) {
+	if feats[0] > 0.5 { // high-mean windows are "AF"
+		return 0, nil
+	}
+	return 1, nil
+}
+
+// paritySignal builds a deterministic 2-phase signal: quiet, then elevated
+// with a per-stream ripple.
+func paritySignal(seed, n, onset int) []float64 {
+	sig := make([]float64, n)
+	state := uint64(seed)*2654435761 + 1
+	for i := range sig {
+		state = state*6364136223846793005 + 1442695040888963407
+		ripple := float64(state>>40) / float64(1<<24) * 0.2
+		if i >= onset {
+			sig[i] = 1.0 + ripple
+		} else {
+			sig[i] = ripple
+		}
+	}
+	return sig
+}
+
+func TestServeParityWithEdgeRun(t *testing.T) {
+	cfg := edge.Config{Fs: 100, WindowSec: 2, StrideSec: 1, AlarmAfter: 2}
+	rt := compss.New(compss.Config{Workers: 4})
+	// The scorer runs the same featurize+classify the batch path uses,
+	// inside a submitted task.
+	scorer := func(tc *compss.TaskCtx, windows [][]float64, fs float64) *compss.Future {
+		return tc.Submit(compss.Opts{Name: "parity_score"}, func(tc *compss.TaskCtx, args []any) (any, error) {
+			labels := make([]int, len(windows))
+			for i, w := range windows {
+				feats, err := parityFeaturize(w, fs)
+				if err != nil {
+					return nil, err
+				}
+				if labels[i], err = parityClassify(feats); err != nil {
+					return nil, err
+				}
+			}
+			return labels, nil
+		})
+	}
+	// Real clock: the background deadline flusher runs, and MaxBatch=3
+	// forces cross-stream batches.
+	s, err := New(rt, Config{
+		Window:       cfg,
+		Score:        scorer,
+		MaxBatch:     3,
+		MaxDelay:     2 * time.Millisecond,
+		StreamBuffer: 1 << 20, // parity needs every window scored
+		RecordEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	signals := [][]float64{
+		paritySignal(1, 3000, 1000),
+		paritySignal(2, 3000, 1500),
+		paritySignal(3, 3000, 2200),
+	}
+	chunks := []int{7, 64, 1000} // deliberately different ingest chunking
+	streams := make([]*Stream, len(signals))
+	for i := range signals {
+		if streams[i], err = s.Admit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i, sig := range signals {
+		wg.Add(1)
+		go func(st *Stream, sig []float64, chunk int) {
+			defer wg.Done()
+			for off := 0; off < len(sig); off += chunk {
+				end := min(off+chunk, len(sig))
+				if err := st.Push(sig[off:end]...); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(streams[i], sig, chunks[i])
+	}
+	wg.Wait()
+	s.Flush()
+	s.WaitIdle()
+
+	for i, sig := range signals {
+		wantEvents, wantAlarm, err := edge.Run(cfg, parityFeaturize, edge.ClassifierFunc(parityClassify), sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := streams[i].Events()
+		if !reflect.DeepEqual(got, wantEvents) {
+			t.Fatalf("stream %d: served events differ from edge.Run\n got %d events\nwant %d events\nfirst diff: %s",
+				i, len(got), len(wantEvents), firstEventDiff(got, wantEvents))
+		}
+		gotAlarm := -1.0
+		for _, e := range got {
+			if e.Alarm {
+				gotAlarm = e.TimeSec
+				break
+			}
+		}
+		if gotAlarm != wantAlarm {
+			t.Fatalf("stream %d: alarm at %v, edge.Run at %v", i, gotAlarm, wantAlarm)
+		}
+	}
+	if m := s.Metrics(); m.Shed != 0 || m.ScoreErrors != 0 {
+		t.Fatalf("parity run shed/error windows: %+v", m)
+	}
+}
+
+func firstEventDiff(got, want []edge.Event) string {
+	n := min(len(got), len(want))
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("index %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(got), len(want))
+}

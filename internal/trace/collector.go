@@ -8,6 +8,7 @@ import (
 
 	"taskml/internal/compss"
 	"taskml/internal/exec"
+	"taskml/internal/serve"
 )
 
 // Collector is the lock-cheap in-memory Observer sink: every hook appends
@@ -23,6 +24,7 @@ type Collector struct {
 	events  []compss.Event
 	samples []CacheSample
 	fleet   []FleetSample
+	serving []ServeSample
 }
 
 // CacheSample is one exec data-plane observation plus its arrival time (the
@@ -40,6 +42,15 @@ type CacheSample struct {
 type FleetSample struct {
 	Time time.Time
 	exec.FleetEvent
+}
+
+// ServeSample is one serving-plane observation plus its arrival time —
+// batch flushes, alarms, shed windows, admission rejections and scoring
+// errors on the same clock as the task slices. Wire it with
+// serve.Config.Hook = collector.AddServeSample.
+type ServeSample struct {
+	Time time.Time
+	serve.Sample
 }
 
 // NewCollector returns an empty collector; attach it via
@@ -82,6 +93,16 @@ func (c *Collector) AddFleetEvent(ev exec.FleetEvent) {
 	c.mu.Unlock()
 }
 
+// AddServeSample records one serving-plane observation, stamped with the
+// arrival time. It is shaped to be installed directly as a serve.Config
+// hook and is safe for concurrent use.
+func (c *Collector) AddServeSample(s serve.Sample) {
+	ss := ServeSample{Time: time.Now(), Sample: s}
+	c.mu.Lock()
+	c.serving = append(c.serving, ss)
+	c.mu.Unlock()
+}
+
 // Events returns a snapshot of the collected events in arrival order.
 func (c *Collector) Events() []compss.Event {
 	c.mu.Lock()
@@ -111,10 +132,20 @@ func (c *Collector) FleetSamples() []FleetSample {
 	return out
 }
 
-// Chrome renders the collected events (and any data-plane or fleet
-// samples); shorthand for ChromeAll over the three snapshots.
+// ServeSamples returns a snapshot of the collected serving-plane samples
+// in arrival order.
+func (c *Collector) ServeSamples() []ServeSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ServeSample, len(c.serving))
+	copy(out, c.serving)
+	return out
+}
+
+// Chrome renders the collected events (and any data-plane, fleet or
+// serving samples); shorthand for ChromeAll over the four snapshots.
 func (c *Collector) Chrome() *Trace {
-	return ChromeAll(c.Events(), c.CacheSamples(), c.FleetSamples())
+	return ChromeAll(c.Events(), c.CacheSamples(), c.FleetSamples(), c.ServeSamples())
 }
 
 // attemptKey identifies one executed attempt of one task.
@@ -175,18 +206,20 @@ func Chrome(events []compss.Event) *Trace { return ChromeCache(events, nil) }
 // re-shipping a reduction tree avoids (or pays) is visible directly in the
 // viewer.
 func ChromeCache(events []compss.Event, samples []CacheSample) *Trace {
-	return ChromeAll(events, samples, nil)
+	return ChromeAll(events, samples, nil, nil)
 }
 
 // ChromeAll renders a runtime event stream plus exec data-plane samples
-// plus fleet membership transitions. The fleet rows are additive in the
-// same "exec data plane" process as the cache rows: one instant lane
-// ("fleet") marking joins, drains, deaths and autoscaler decisions, and a
-// "fleet size" counter tracking alive workers and slots — the elasticity of
-// a run is visible next to the queue-depth counters that drove it.
-func ChromeAll(events []compss.Event, samples []CacheSample, fleet []FleetSample) *Trace {
+// plus fleet membership transitions plus serving-plane samples. The fleet
+// rows are additive in the same "exec data plane" process as the cache
+// rows: one instant lane ("fleet") marking joins, drains, deaths and
+// autoscaler decisions, and a "fleet size" counter tracking alive workers
+// and slots — the elasticity of a run is visible next to the queue-depth
+// counters that drove it. Serving samples add a third process ("serving",
+// see renderServeRows) with batcher, alarm and backpressure lanes.
+func ChromeAll(events []compss.Event, samples []CacheSample, fleet []FleetSample, serving []ServeSample) *Trace {
 	t := &Trace{}
-	if len(events) == 0 && len(samples) == 0 && len(fleet) == 0 {
+	if len(events) == 0 && len(samples) == 0 && len(fleet) == 0 && len(serving) == 0 {
 		return t
 	}
 	var origin time.Time
@@ -206,12 +239,18 @@ func ChromeAll(events []compss.Event, samples []CacheSample, fleet []FleetSample
 			origin, haveOrigin = f.Time, true
 		}
 	}
+	for _, s := range serving {
+		if !haveOrigin || s.Time.Before(origin) {
+			origin, haveOrigin = s.Time, true
+		}
+	}
 	renderEvents(t, origin, events)
 	if len(samples) > 0 || len(fleet) > 0 {
 		t.Add(processName(cachePid, "exec data plane"))
 		nLanes := renderCacheRows(t, origin, samples)
 		renderFleetRows(t, origin, fleet, nLanes)
 	}
+	renderServeRows(t, origin, serving)
 	return t
 }
 
@@ -505,6 +544,70 @@ func renderCacheRows(t *Trace, origin time.Time, samples []CacheSample) int {
 		})
 	}
 	return len(workerIDs)
+}
+
+// servePid is the trace process holding the serving-plane rows.
+const servePid = 2
+
+// renderServeRows emits the "serving" process: a "batcher" lane with one
+// instant per flush, an "alarms" lane, and a "backpressure" lane carrying
+// shed / reject / error markers — plus counter tracks "serve queue"
+// (pending windows and in-flight batches), "serve streams" (open streams)
+// and "shed windows" (cumulative). Latency histograms are the server's
+// (serve.Metrics); the trace carries the per-event view.
+func renderServeRows(t *Trace, origin time.Time, serving []ServeSample) {
+	if len(serving) == 0 {
+		return
+	}
+	t.Add(processName(servePid, "serving"))
+	const (
+		laneBatcher = 0
+		laneAlarms  = 1
+		laneBack    = 2
+	)
+	t.Add(threadName(servePid, laneBatcher, "batcher"))
+	t.Add(threadName(servePid, laneAlarms, "alarms"))
+	t.Add(threadName(servePid, laneBack, "backpressure"))
+	for _, s := range serving {
+		ts := float64(s.Time.Sub(origin).Nanoseconds()) / 1e3
+		if ts < 0 {
+			ts = 0
+		}
+		lane := laneBack
+		args := map[string]any{}
+		switch s.Kind {
+		case "flush":
+			lane = laneBatcher
+			args["batch"] = s.Batch
+		case "alarm":
+			lane = laneAlarms
+			args["stream"] = s.Stream
+			args["latency_us"] = s.LatencyUS
+		case "shed":
+			args["stream"] = s.Stream
+			args["shed_total"] = s.Shed
+		case "error":
+			args["batch"] = s.Batch
+		}
+		t.Add(TraceEvent{
+			Name: s.Kind, Cat: "serve", Ph: "i", Ts: ts,
+			Pid: servePid, Tid: lane, Scope: "t", Args: args,
+		})
+		t.Add(TraceEvent{
+			Name: "serve queue", Cat: "serve", Ph: "C", Ts: ts, Pid: servePid,
+			Args: map[string]any{"pending": s.Pending, "inflight": s.InFlight},
+		})
+		t.Add(TraceEvent{
+			Name: "serve streams", Cat: "serve", Ph: "C", Ts: ts, Pid: servePid,
+			Args: map[string]any{"streams": s.Streams},
+		})
+		if s.Kind == "shed" {
+			t.Add(TraceEvent{
+				Name: "shed windows", Cat: "serve", Ph: "C", Ts: ts, Pid: servePid,
+				Args: map[string]any{"shed": s.Shed},
+			})
+		}
+	}
 }
 
 // renderFleetRows emits the fleet membership lane: one instant per

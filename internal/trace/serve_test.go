@@ -1,0 +1,99 @@
+package trace_test
+
+import (
+	"testing"
+
+	"taskml/internal/serve"
+	"taskml/internal/trace"
+)
+
+// TestServeTraceRows checks the structure of the serving process in the
+// Chrome export: fabricated serving-plane samples must land on the right
+// lanes with the right counters, and a collector with no serving samples
+// must not emit the process at all (the golden trace stays untouched).
+func TestServeTraceRows(t *testing.T) {
+	col := trace.NewCollector()
+	for _, s := range []serve.Sample{
+		{Kind: "flush", Stream: -1, Batch: 64, Pending: 10, InFlight: 1, Streams: 100},
+		{Kind: "alarm", Stream: 7, Pending: 10, InFlight: 1, Streams: 100, LatencyUS: 1500},
+		{Kind: "shed", Stream: 3, Pending: 12, InFlight: 1, Streams: 100, Shed: 5},
+		{Kind: "reject", Stream: -1, Pending: 12, InFlight: 1, Streams: 100},
+		{Kind: "error", Stream: -1, Batch: 8, Pending: 0, InFlight: 0, Streams: 100},
+	} {
+		col.AddServeSample(s)
+	}
+	if got := len(col.ServeSamples()); got != 5 {
+		t.Fatalf("ServeSamples holds %d samples, want 5", got)
+	}
+	tr := col.Chrome()
+
+	type key struct {
+		name string
+		ph   string
+	}
+	counts := map[key]int{}
+	lanes := map[string]string{} // instant name -> lane thread name
+	threadNames := map[int]string{}
+	var servePid = -1
+	for _, ev := range tr.Events {
+		if ev.Name == "process_name" {
+			if args, ok := ev.Args["name"].(string); ok && args == "serving" {
+				servePid = ev.Pid
+			}
+		}
+	}
+	if servePid < 0 {
+		t.Fatal("no \"serving\" process in the trace")
+	}
+	for _, ev := range tr.Events {
+		if ev.Pid != servePid {
+			continue
+		}
+		if ev.Name == "thread_name" {
+			threadNames[ev.Tid] = ev.Args["name"].(string)
+		}
+	}
+	for _, ev := range tr.Events {
+		if ev.Pid != servePid || ev.Ph == "M" {
+			continue
+		}
+		counts[key{ev.Name, ev.Ph}]++
+		if ev.Ph == "i" {
+			lanes[ev.Name] = threadNames[ev.Tid]
+		}
+	}
+	wantLanes := map[string]string{
+		"flush":  "batcher",
+		"alarm":  "alarms",
+		"shed":   "backpressure",
+		"reject": "backpressure",
+		"error":  "backpressure",
+	}
+	for name, lane := range wantLanes {
+		if counts[key{name, "i"}] != 1 {
+			t.Fatalf("instant %q emitted %d times, want 1", name, counts[key{name, "i"}])
+		}
+		if lanes[name] != lane {
+			t.Fatalf("instant %q on lane %q, want %q", name, lanes[name], lane)
+		}
+	}
+	// Every sample re-emits the queue and stream counters; the shed counter
+	// fires only on shed samples.
+	if got := counts[key{"serve queue", "C"}]; got != 5 {
+		t.Fatalf("serve queue counter emitted %d times, want 5", got)
+	}
+	if got := counts[key{"serve streams", "C"}]; got != 5 {
+		t.Fatalf("serve streams counter emitted %d times, want 5", got)
+	}
+	if got := counts[key{"shed windows", "C"}]; got != 1 {
+		t.Fatalf("shed windows counter emitted %d times, want 1", got)
+	}
+
+	// No serving samples → no serving process.
+	empty := trace.NewCollector()
+	for _, ev := range empty.Chrome().Events {
+		if name, ok := ev.Args["name"].(string); ok && name == "serving" {
+			t.Fatal("empty collector emitted a serving process")
+		}
+	}
+}

@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #
-# Defaults to BENCH_PR9.json in the repository root. Two tiers keep the
+# Defaults to BENCH_PR10.json in the repository root. Two tiers keep the
 # sweep inside a CI budget: the root package's experiment benchmarks
 # (BenchmarkFigure*/Table*/Ablation*) each replay a whole workflow, so they
 # run once (BENCHTIME_EXPERIMENT, default 1x); the per-package micro
@@ -38,17 +38,26 @@
 # time plus the peak_workers/joined/left membership counters, so the cost
 # of scaling from cold (and the fleet size the policy settles on) is a
 # recorded number, not a guess.
+#
+# The serving sweep runs cmd/serve — the always-on inference service — at
+# 1k/10k/100k offered streams (fixed seed, real-time paced driver) and
+# records the SERVEBENCH lines as "serve:*" entries: serving-latency
+# quantiles, admission rejections, shed windows. The 100k row is offered
+# load past the box's capacity on purpose: its rejected/shed counts are the
+# admission-control-and-backpressure story, not a failure. SERVE_FLAGS can
+# shrink the runs (e.g. SERVE_FLAGS="-stream-sec 12").
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR9.json}
+out=${1:-BENCH_PR10.json}
 micro=${BENCHTIME_MICRO:-2000x}
 experiment=${BENCHTIME_EXPERIMENT:-1x}
 tmp=$(mktemp)
 rtmp=$(mktemp)
 scaling=$(mktemp)
-trap 'rm -f "$tmp" "$rtmp" "$scaling"' EXIT
+servebin=$(mktemp)
+trap 'rm -f "$tmp" "$rtmp" "$scaling" "$servebin"' EXIT
 
 echo "== go test -run=NONE -bench=. -benchmem -benchtime=$micro ./internal/..."
 go test -run=NONE -bench=. -benchmem -benchtime="$micro" ./internal/... 2>&1 | tee "$tmp"
@@ -138,6 +147,21 @@ elastic() {
 elastic fixed-4 -backend=remote -loopback-workers=4 -slots=1
 elastic auto-1-8 -backend=remote -min-workers=1 -max-workers=8 -slots=1
 
+# Serving: the always-on inference service at three offered-load scales.
+# Real-time paced (each run is a few stream-lengths of wall clock); the
+# seed is fixed so the signal pool and trained model are identical across
+# scales and across PRs.
+go build -o "$servebin" ./cmd/serve
+servebench() {
+    name=$1; shift
+    echo "== serve ($name): $*"
+    "$servebin" -seed 1 ${SERVE_FLAGS:-} "$@" |
+        sed -n "s/^SERVEBENCH /  \"serve:$name\": /p" >> "$rtmp"
+}
+servebench 1k -streams 1000
+servebench 10k -streams 10000
+servebench 100k -streams 100000
+
 # Splice the reduce entries into the top-level JSON object.
 sed -i '$d' "$out"            # drop the closing brace
 sed -i '$ s/}$/},/' "$out"    # comma after the last benchmark entry
@@ -145,4 +169,4 @@ sed 's/$/,/' "$rtmp" >> "$out"
 sed -i '$ s/,$//' "$out"      # the final entry carries no comma
 echo "}" >> "$out"
 
-echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs, $(grep -c '"p2p:' "$out") p2p runs, $(grep -c '"elastic:' "$out") elasticity runs)"
+echo "wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks, $(grep -c '"reduce:' "$out") reduction runs, $(grep -c '"p2p:' "$out") p2p runs, $(grep -c '"elastic:' "$out") elasticity runs, $(grep -c '"serve:' "$out") serving runs)"

@@ -84,6 +84,16 @@ go test -race -count=2 -run 'TestRemotePeerKillParity' ./internal/core/
 echo "== go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/"
 go test -race -count=2 -run 'TestElasticCapacity' ./internal/compss/
 
+# The serving plane multiplexes concurrent stream pushes, per-batch scoring
+# goroutines, the background deadline flusher and hook callbacks over one
+# lock; pin the serving tests by name — batcher flush on both paths (size
+# and deadline), admission rejection at capacity, backpressure shedding
+# accounting, score-error skip semantics, the trace rows, and the
+# alarms-bit-identical parity against batch edge.Run both in-process and
+# across real worker processes.
+echo "== go test -race -count=2 -run 'TestServe' ./internal/serve/ ./internal/core/ ./internal/trace/"
+go test -race -count=2 -run 'TestServe' ./internal/serve/ ./internal/core/ ./internal/trace/
+
 # Submit-path smoke: a quick -benchmem pass over the Submit benchmarks so a
 # regression that re-inflates the per-task allocation count is visible in
 # every gate run (the numbers land in the log; BENCH_PR6.json via
